@@ -1,0 +1,112 @@
+// Command dagviz inspects the benchmark dataflows: structure, per-task
+// input rates and parallelism, critical paths, and the Table 1 deployment
+// plans with billing rates.
+//
+// Usage:
+//
+//	dagviz            # all five benchmark DAGs
+//	dagviz -dag grid  # one DAG in detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflows"
+	"repro/internal/experiments"
+	"repro/internal/scheduler"
+	"repro/internal/timex"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dag := flag.String("dag", "", "show one DAG: linear, diamond, star, grid, traffic (default: all)")
+	flag.Parse()
+
+	specs := []dataflows.Spec{}
+	if *dag == "" {
+		specs = append(specs, dataflows.All()...)
+	} else {
+		spec, err := dataflows.ByName(*dag)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+
+	fmt.Println(experiments.Table1())
+	for _, spec := range specs {
+		show(spec)
+	}
+	return nil
+}
+
+func show(spec dataflows.Spec) {
+	topo := spec.Topology
+	rates := topo.InputRate(dataflows.BaseRate)
+	fmt.Printf("\n== %s ==\n", topo.Name())
+	fmt.Printf("critical path: %d edges; sink rate: %.0f ev/s; end-to-end selectivity 1:%d\n",
+		topo.CriticalPathLen(), rates[dataflows.SinkName],
+		int(rates[dataflows.SinkName]/dataflows.BaseRate))
+
+	rows := make([][]string, 0, len(topo.Tasks()))
+	for _, name := range topo.TopoSort() {
+		task := topo.Task(name)
+		var outs []string
+		for _, e := range topo.Outgoing(name) {
+			outs = append(outs, e.To)
+		}
+		rows = append(rows, []string{
+			name, task.Role.String(),
+			fmt.Sprintf("%.0f", rates[name]),
+			fmt.Sprint(task.Parallelism),
+			strings.Join(outs, ","),
+		})
+	}
+	fmt.Println(experiments.Table("tasks",
+		[]string{"Task", "Role", "In ev/s", "Instances", "Downstream"}, rows))
+
+	// Deployment plans with billing rates.
+	plans := []struct {
+		label string
+		vt    cluster.VMType
+		n     int
+	}{
+		{"default", cluster.D2, spec.DefaultVMs},
+		{"scale-in", cluster.D3, spec.ScaleInVMs},
+		{"scale-out", cluster.D1, spec.ScaleOutVMs},
+	}
+	prows := make([][]string, 0, len(plans))
+	for _, p := range plans {
+		clus := cluster.New()
+		clus.Provision(p.vt, p.n, timex.Epoch)
+		inner := topo.Instances(topology.RoleInner)
+		sched, err := (scheduler.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+		status := "ok"
+		vmsUsed := 0
+		if err != nil {
+			status = err.Error()
+		} else {
+			vmsUsed = len(sched.VMsUsed())
+		}
+		prows = append(prows, []string{
+			p.label, fmt.Sprintf("%d x %s", p.n, p.vt.Name),
+			fmt.Sprint(p.n * p.vt.Slots),
+			fmt.Sprint(vmsUsed),
+			fmt.Sprintf("%.4f/min", clus.RatePerMinute()),
+			status,
+		})
+	}
+	fmt.Println(experiments.Table("deployments (inner tasks; source/sink on a separate pinned 4-slot VM)",
+		[]string{"Plan", "VMs", "Slots", "VMs used", "Billing", "Placement"}, prows))
+}

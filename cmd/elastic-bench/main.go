@@ -1,0 +1,114 @@
+// Command elastic-bench regenerates the paper's evaluation artifacts:
+// every table and figure of §5, the §5.1 micro-benchmarks, and the
+// ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	elastic-bench -figure all            # everything (runs the full matrix)
+//	elastic-bench -figure 5a             # Fig. 5a only
+//	elastic-bench -figure table1,m2      # comma-separated subsets
+//	elastic-bench -scale 0.02            # time compression (0.02 = 50x)
+//
+// Runs execute in compressed paper time; all reported numbers are paper
+// time, directly comparable with the paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	figures := flag.String("figure", "all", "comma-separated artifacts: table1,5a,5b,6,7,8,9,m1,m2,m3,a1,a2,a3,reliability,all")
+	scale := flag.Float64("scale", 0.02, "time compression factor (0.02 = 50x faster than the testbed)")
+	pre := flag.Duration("pre", 60*time.Second, "steady-state warmup before the migration request (paper time)")
+	post := flag.Duration("post", 420*time.Second, "maximum horizon after the migration request (paper time)")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	csvPath := flag.String("csv", "", "also write the evaluation matrix to this CSV file")
+	flag.Parse()
+
+	runCfg := experiments.RunConfig{
+		TimeScale:    *scale,
+		PreMigration: *pre,
+		PostHorizon:  *post,
+		Seed:         *seed,
+	}
+	suite := experiments.NewSuite(runCfg)
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figures, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+	pick := func(name string) bool { return all || want[name] }
+
+	type artifact struct {
+		name string
+		gen  func() (string, error)
+	}
+	artifacts := []artifact{
+		{"table1", func() (string, error) { return experiments.Table1(), nil }},
+		{"5a", func() (string, error) { return suite.Fig5(experiments.ScaleIn) }},
+		{"5b", func() (string, error) { return suite.Fig5(experiments.ScaleOut) }},
+		{"6", suite.Fig6},
+		{"7", suite.Fig7},
+		{"8", suite.Fig8},
+		{"9", suite.Fig9},
+		{"m1", suite.M1DrainTimes},
+		{"m2", func() (string, error) { return experiments.M2StoreCheckpoint(), nil }},
+		{"m3", suite.M3RebalanceDurations},
+		{"a1", suite.A1AckingOverhead},
+		{"a2", suite.A2InitDelivery},
+		{"a3", suite.A3CheckpointFreshness},
+		{"reliability", suite.ReliabilityReport},
+	}
+
+	ran := 0
+	for _, a := range artifacts {
+		if !pick(a.name) {
+			continue
+		}
+		start := time.Now()
+		out, err := a.gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s generated in %s wall time)\n\n", a.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no artifact matched %q", *figures)
+	}
+	if *csvPath != "" {
+		results, err := suite.MatrixResults()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteResultsCSV(f, results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(results))
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command stormlet runs a single migration scenario — one dataflow, one
+// strategy, one scale direction — and prints the §4 metrics plus the
+// reliability accounting. Useful for exploring a single cell of the
+// evaluation matrix or validating a configuration change.
+//
+// Usage:
+//
+//	stormlet -dag grid -strategy CCR -direction in
+//	stormlet -dag linear -strategy DSM -direction out -scale 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stormlet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dag := flag.String("dag", "grid", "dataflow: linear, diamond, star, grid, traffic")
+	strategy := flag.String("strategy", "CCR", "migration strategy: DSM, DCR, CCR, CCR-seqinit")
+	direction := flag.String("direction", "in", "scale direction: in or out")
+	scale := flag.Float64("scale", 0.02, "time compression factor")
+	pre := flag.Duration("pre", 60*time.Second, "warmup before migration (paper time)")
+	post := flag.Duration("post", 420*time.Second, "max horizon after migration (paper time)")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	timeline := flag.Bool("timeline", false, "print throughput and latency timelines")
+	chart := flag.Bool("chart", false, "render timelines as ASCII charts")
+	csvPath := flag.String("csv", "", "write the run's timelines as CSV files with this prefix")
+	flag.Parse()
+
+	spec, err := dataflows.ByName(*dag)
+	if err != nil {
+		return err
+	}
+	strat, err := core.ByName(*strategy)
+	if err != nil {
+		return err
+	}
+	dir := experiments.ScaleIn
+	if *direction == "out" {
+		dir = experiments.ScaleOut
+	}
+
+	fmt.Printf("Running %s / %s / %s (scale %.3f)...\n", *dag, strat.Name(), dir, *scale)
+	start := time.Now()
+	r, err := experiments.Run(experiments.Scenario{
+		Spec:      spec,
+		Strategy:  strat,
+		Direction: dir,
+		Run: experiments.RunConfig{
+			TimeScale:    *scale,
+			PreMigration: *pre,
+			PostHorizon:  *post,
+			Seed:         *seed,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+
+	if r.MigrationErr != nil {
+		fmt.Printf("MIGRATION FAILED: %v\n", r.MigrationErr)
+	}
+	m := r.Metrics
+	fmt.Println(experiments.Table("Metrics (paper time)",
+		[]string{"Metric", "Value"},
+		[][]string{
+			{"Restore duration", m.RestoreDuration.Round(time.Millisecond).String()},
+			{"Drain/capture duration", m.DrainDuration.Round(time.Millisecond).String()},
+			{"Rebalance duration", m.RebalanceDuration.Round(time.Millisecond).String()},
+			{"Catchup time", m.CatchupTime.Round(time.Millisecond).String()},
+			{"Recovery time", m.RecoveryTime.Round(time.Millisecond).String()},
+			{"Stabilization time", experiments.Secs(m.StabilizationTime) + " s"},
+			{"Stable median latency", m.StableLatency.Round(time.Millisecond).String()},
+			{"Replayed messages", fmt.Sprint(m.ReplayedCount)},
+			{"Roots emitted", fmt.Sprint(m.EmittedRoots)},
+			{"Sink events", fmt.Sprint(m.SinkEvents)},
+		}))
+	fmt.Println(experiments.Table("Reliability",
+		[]string{"Check", "Value"},
+		[][]string{
+			{"Lost payloads", fmt.Sprint(r.LostCount)},
+			{"Duplicated payloads", fmt.Sprint(r.DuplicateCount)},
+			{"Old/new boundary violations", fmt.Sprint(r.BoundaryViolations)},
+			{"State rollback (events)", fmt.Sprint(r.Staleness)},
+			{"Dropped deliveries", fmt.Sprint(r.Drops)},
+		}))
+	fmt.Println(experiments.Table("Deployment",
+		[]string{"Item", "Value"},
+		[][]string{
+			{"VMs before -> after", fmt.Sprintf("%d -> %d", r.VMsBefore, r.VMsAfter)},
+			{"Billing rate before -> after", fmt.Sprintf("%.4f -> %.4f /min", r.RateBefore, r.RateAfter)},
+			{"Store ops / bytes written", fmt.Sprintf("%d / %d", r.Store.Ops, r.Store.BytesWritten)},
+		}))
+
+	if *timeline {
+		fmt.Println(experiments.Series("input rate (ev/s)", r.Input, r.RequestOffset, 20*time.Second))
+		fmt.Println(experiments.Series("output rate (ev/s)", r.Output, r.RequestOffset, 20*time.Second))
+		fmt.Println(experiments.Series("latency (ms)", r.Latency, r.RequestOffset, 20*time.Second))
+	}
+	if *chart {
+		fmt.Println(experiments.Chart("input rate (ev/s)", r.Input, r.RequestOffset, 100, 10))
+		fmt.Println(experiments.Chart("output rate (ev/s)", r.Output, r.RequestOffset, 100, 10))
+		fmt.Println(experiments.Chart("latency (ms)", r.Latency, r.RequestOffset, 100, 10))
+	}
+	if *csvPath != "" {
+		for name, series := range map[string][]metrics.Sample{
+			"input": r.Input, "output": r.Output, "latency": r.Latency,
+		} {
+			f, err := os.Create(*csvPath + "-" + name + ".csv")
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteTimelineCSV(f, series, r.RequestOffset); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s-%s.csv\n", *csvPath, name)
+		}
+	}
+	return nil
+}

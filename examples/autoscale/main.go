@@ -1,0 +1,109 @@
+// Autoscale: closes the loop the paper scopes out. A reactive controller
+// watches the offered rate of a Diamond dataflow, decides a new VM
+// allocation from a utilization band, and enacts it live with CCR — the
+// "diverse elastic scheduling scenarios" the paper's conclusion says its
+// migration techniques enable.
+//
+// The workload ramps: steady 8 ev/s, then the controller is consulted
+// after the per-instance utilization drifts out of [0.5, 0.9]. Every
+// reallocation is reliable (zero loss) because the enactment is CCR.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec := repro.Diamond()
+	clock := repro.NewScaledClock(0.02)
+	clus := repro.NewCluster()
+	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
+
+	// Deliberately overprovisioned start: 8 instances on 8 D1 VMs.
+	clus.Provision(repro.D1, spec.ScaleOutVMs, clock.Now())
+	inner := spec.Topology.Instances(topology.RoleInner)
+	sched, err := (repro.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	if err != nil {
+		return err
+	}
+	eng, err := repro.NewEngine(repro.Params{
+		Topology:      spec.Topology,
+		Factory:       repro.CountFactory,
+		Clock:         clock,
+		Config:        repro.DefaultConfig(repro.ModeCCR),
+		InnerSchedule: sched,
+		Pinned: map[repro.Instance]repro.SlotRef{
+			{Task: "Src", Index: 0}:  pinned.Slots()[0],
+			{Task: "Sink", Index: 0}: pinned.Slots()[1],
+		},
+		CoordinatorSlot: pinned.Slots()[2],
+	})
+	if err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	ctrl := &core.Controller{
+		Engine:          eng,
+		Cluster:         clus,
+		Strategy:        repro.CCR{},
+		Scheduler:       scheduler.RoundRobin{},
+		ConsolidateType: repro.D3,
+		SpreadType:      repro.D1,
+		CapacityPerSlot: 10, // 100 ms tasks
+		Low:             0.5,
+		High:            0.9,
+	}
+
+	fmt.Printf("start: %d x D1 VMs, billing %.4f/min\n", spec.ScaleOutVMs, clus.RatePerMinute())
+	clock.Sleep(45 * time.Second)
+
+	// The offered rate is 8 ev/s; Diamond's aggregate demand is
+	// 64 instance-ev/s over 8 slots = 8 ev/s per slot = utilization 0.8:
+	// inside the band, so no action.
+	rate := eng.Config().SourceRate
+	if plan := ctrl.Evaluate(rate, repro.D1, spec.ScaleOutVMs); plan != nil {
+		return fmt.Errorf("unexpected plan at nominal rate: %s", plan.Reason)
+	}
+	fmt.Println("at 8 ev/s: utilization 0.80 inside [0.50, 0.90] — no action")
+
+	// The stream thins to half rate (sampling change upstream):
+	// utilization drops to 0.4 — consolidate.
+	halfRate := rate / 2
+	plan := ctrl.Evaluate(halfRate, repro.D1, spec.ScaleOutVMs)
+	if plan == nil {
+		return fmt.Errorf("controller ignored underutilization")
+	}
+	fmt.Printf("at %.0f ev/s: %s\n", halfRate, plan.Reason)
+	fmt.Println("enacting with CCR...")
+	if err := ctrl.Apply(plan); err != nil {
+		return err
+	}
+	clock.Sleep(90 * time.Second)
+
+	lost := eng.Audit().Lost(clock.Now().Add(-30 * time.Second))
+	fmt.Printf("after consolidation: %d migrations, lost payloads: %d\n",
+		ctrl.Migrations(), len(lost))
+	if len(lost) != 0 {
+		return fmt.Errorf("autoscaling lost events")
+	}
+	fmt.Println("ok: the controller consolidated the deployment with zero loss")
+	return nil
+}

@@ -1,0 +1,108 @@
+// Quickstart: build a small streaming dataflow, deploy it on modeled
+// Cloud VMs, run it in compressed paper time, and migrate it live with
+// CCR — no message lost, state intact, and the restore measured.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Compose a dataflow: one source, three stateful stages, one sink.
+	b := repro.NewTopology("quickstart")
+	b.AddSource("Src", 1)
+	b.AddTask("Parse", 1, true)
+	b.AddTask("Enrich", 1, true)
+	b.AddTask("Aggregate", 1, true)
+	b.AddSink("Sink", 1)
+	b.Connect("Src", "Parse", repro.Shuffle)
+	b.Connect("Parse", "Enrich", repro.Shuffle)
+	b.Connect("Enrich", "Aggregate", repro.Shuffle)
+	b.Connect("Aggregate", "Sink", repro.Shuffle)
+	topo, err := b.Build()
+	if err != nil {
+		return err
+	}
+
+	// 2. Deploy: two 2-core VMs for the tasks; source/sink/coordinator on
+	// a pinned 4-core VM — the paper's setup in miniature. Run 50× faster
+	// than real time.
+	clock := repro.NewScaledClock(0.02)
+	clus := repro.NewCluster()
+	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
+	clus.Provision(repro.D2, 2, clock.Now())
+
+	inner := topo.Instances(topology.RoleInner)
+	oldSched, err := (repro.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	if err != nil {
+		return err
+	}
+
+	cfg := repro.DefaultConfig(repro.ModeCCR)
+	eng, err := repro.NewEngine(repro.Params{
+		Topology:      topo,
+		Factory:       repro.CountFactory,
+		Clock:         clock,
+		Config:        cfg,
+		InnerSchedule: oldSched,
+		Pinned: map[repro.Instance]repro.SlotRef{
+			{Task: "Src", Index: 0}:  pinned.Slots()[0],
+			{Task: "Sink", Index: 0}: pinned.Slots()[1],
+		},
+		CoordinatorSlot: pinned.Slots()[2],
+	})
+	if err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	// 3. Let it reach steady state (paper time).
+	fmt.Println("running at steady state for 45 s of paper time...")
+	clock.Sleep(45 * time.Second)
+	fmt.Printf("  events delivered so far: %d (no losses: %v)\n",
+		eng.Audit().SinkArrivals(),
+		len(eng.Audit().Lost(clock.Now().Add(-10*time.Second))) == 0)
+
+	// 4. Scale in: consolidate onto one 4-core VM, migrating live with CCR.
+	target := clus.Provision(repro.D3, 1, clock.Now())
+	newSched, err := (repro.RoundRobin{}).Place(inner, target[0].Slots())
+	if err != nil {
+		return err
+	}
+	fmt.Println("migrating with CCR onto a single D3 VM...")
+	if err := (repro.CCR{}).Migrate(eng, newSched); err != nil {
+		return err
+	}
+
+	// 5. Keep running, then report.
+	clock.Sleep(120 * time.Second)
+	m := eng.Collector().Compute(metrics.DefaultStabilization(eng.ExpectedSinkRate()), 0)
+	fmt.Println("\nmigration metrics (paper time):")
+	fmt.Printf("  restore duration:  %v\n", m.RestoreDuration.Round(time.Millisecond))
+	fmt.Printf("  capture duration:  %v\n", m.DrainDuration.Round(time.Millisecond))
+	fmt.Printf("  rebalance command: %v\n", m.RebalanceDuration.Round(time.Millisecond))
+	fmt.Printf("  replayed events:   %d (CCR loses nothing, replays nothing)\n", m.ReplayedCount)
+	lost := eng.Audit().Lost(clock.Now().Add(-30 * time.Second))
+	fmt.Printf("  lost payloads:     %d\n", len(lost))
+	if len(lost) != 0 || m.ReplayedCount != 0 {
+		return fmt.Errorf("reliability violated: lost=%d replayed=%d", len(lost), m.ReplayedCount)
+	}
+	fmt.Println("ok: dataflow migrated with zero loss and zero replay")
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package acker implements Storm's at-least-once acknowledgment service.
+//
+// Every root event emitted by a source registers a causal tree with the
+// service. Each descendant event is XORed into the tree's 64-bit hash once
+// when it is anchored (emitted) and once when it is acknowledged
+// (processed). When the hash returns to zero the whole tree has been fully
+// processed and the source may discard its cached copy of the root. If the
+// hash is still non-zero after the ack timeout, the root is failed and the
+// source replays it — the mechanism behind DSM's message recovery and its
+// 30-second replay spikes (Fig. 6 and Fig. 7a of the paper).
+//
+// Timeouts use a rotating bucket wheel like Storm's RotatingMap: pending
+// roots sit in the newest bucket; every timeout/buckets interval the
+// oldest bucket expires and its roots are failed. A root is therefore
+// failed between timeout and timeout*(1+1/buckets) after registration.
+package acker
+
+import (
+	"sync"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+
+	"time"
+)
+
+// Outcome reports how a tracked causal tree concluded.
+type Outcome int
+
+// Tree outcomes.
+const (
+	// Completed means every event in the tree was acknowledged.
+	Completed Outcome = iota + 1
+	// TimedOut means the ack timeout elapsed with a non-zero hash.
+	TimedOut
+	// Aborted means the service shut down or tracking was cancelled.
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case TimedOut:
+		return "timed-out"
+	case Aborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Handler receives the final outcome for a tracked root.
+type Handler func(root tuple.ID, outcome Outcome)
+
+// Stats is a snapshot of service counters.
+type Stats struct {
+	// Registered counts roots ever tracked.
+	Registered uint64
+	// Completed counts trees that fully acked.
+	Completed uint64
+	// TimedOut counts trees failed by the ack timeout.
+	TimedOut uint64
+	// Pending counts trees currently in flight.
+	Pending int
+}
+
+type entry struct {
+	hash    uint64
+	handler Handler
+	bucket  int
+}
+
+// Service tracks causal trees. It is safe for concurrent use. Construct
+// with New and release with Close.
+type Service struct {
+	clock   timex.Clock
+	timeout time.Duration
+	nbkts   int
+
+	mu       sync.Mutex
+	entries  map[tuple.ID]*entry
+	buckets  []map[tuple.ID]struct{}
+	newest   int // index of the bucket receiving new registrations
+	closed   bool
+	rotating timex.Timer
+
+	registered uint64
+	completed  uint64
+	timedOut   uint64
+}
+
+// New creates a service with the given ack timeout, expired with nbuckets
+// rotating buckets (Storm uses a handful; 3 is typical). timeout <= 0
+// disables timeouts entirely (trees only complete or abort).
+func New(clock timex.Clock, timeout time.Duration, nbuckets int) *Service {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	s := &Service{
+		clock:   clock,
+		timeout: timeout,
+		nbkts:   nbuckets,
+		entries: make(map[tuple.ID]*entry),
+		buckets: make([]map[tuple.ID]struct{}, nbuckets+1),
+	}
+	for i := range s.buckets {
+		s.buckets[i] = make(map[tuple.ID]struct{})
+	}
+	if timeout > 0 {
+		s.scheduleRotate()
+	}
+	return s
+}
+
+func (s *Service) scheduleRotate() {
+	interval := s.timeout / time.Duration(s.nbkts)
+	s.rotating = s.clock.AfterFunc(interval, s.rotate)
+}
+
+// rotate expires the oldest bucket and fails its roots.
+func (s *Service) rotate() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	oldest := (s.newest + 1) % len(s.buckets)
+	expired := s.buckets[oldest]
+	s.buckets[oldest] = make(map[tuple.ID]struct{})
+	s.newest = oldest
+
+	var failed []Handler
+	var roots []tuple.ID
+	for root := range expired {
+		if e, ok := s.entries[root]; ok {
+			delete(s.entries, root)
+			s.timedOut++
+			failed = append(failed, e.handler)
+			roots = append(roots, root)
+		}
+	}
+	s.scheduleRotate()
+	s.mu.Unlock()
+
+	for i, h := range failed {
+		if h != nil {
+			h(roots[i], TimedOut)
+		}
+	}
+}
+
+// Register starts tracking a causal tree rooted at root. The root event
+// itself is anchored implicitly. handler is invoked exactly once with the
+// final outcome. Registering an already-tracked root is a no-op.
+func (s *Service) Register(root tuple.ID, handler Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, dup := s.entries[root]; dup {
+		return
+	}
+	s.entries[root] = &entry{hash: uint64(root), handler: handler, bucket: s.newest}
+	s.buckets[s.newest][root] = struct{}{}
+	s.registered++
+}
+
+// Anchor records the emission of event id within root's tree.
+func (s *Service) Anchor(root, id tuple.ID) {
+	s.xor(root, id)
+}
+
+// Ack records the processing of event id within root's tree. Acking the
+// root itself (id == root) closes its own contribution.
+func (s *Service) Ack(root, id tuple.ID) {
+	s.xor(root, id)
+}
+
+func (s *Service) xor(root, id tuple.ID) {
+	s.mu.Lock()
+	e, ok := s.entries[root]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	e.hash ^= uint64(id)
+	if e.hash != 0 {
+		// Keep hot trees alive: move to the newest bucket so active
+		// processing is not expired mid-flight (Storm resets the entry's
+		// rotation on update).
+		if e.bucket != s.newest {
+			delete(s.buckets[e.bucket], root)
+			s.buckets[s.newest][root] = struct{}{}
+			e.bucket = s.newest
+		}
+		s.mu.Unlock()
+		return
+	}
+	delete(s.entries, root)
+	delete(s.buckets[e.bucket], root)
+	s.completed++
+	h := e.handler
+	s.mu.Unlock()
+	if h != nil {
+		h(root, Completed)
+	}
+}
+
+// Forget stops tracking root without invoking its handler. Used when a
+// coordinator supersedes a wave.
+func (s *Service) Forget(root tuple.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[root]; ok {
+		delete(s.entries, root)
+		delete(s.buckets[e.bucket], root)
+	}
+}
+
+// Pending reports the number of trees in flight.
+func (s *Service) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Registered: s.registered,
+		Completed:  s.completed,
+		TimedOut:   s.timedOut,
+		Pending:    len(s.entries),
+	}
+}
+
+// Close aborts all pending trees (handlers receive Aborted) and stops the
+// rotation timer.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.rotating != nil {
+		s.rotating.Stop()
+	}
+	var handlers []Handler
+	var roots []tuple.ID
+	for root, e := range s.entries {
+		handlers = append(handlers, e.handler)
+		roots = append(roots, root)
+	}
+	s.entries = make(map[tuple.ID]*entry)
+	for i := range s.buckets {
+		s.buckets[i] = make(map[tuple.ID]struct{})
+	}
+	s.mu.Unlock()
+	for i, h := range handlers {
+		if h != nil {
+			h(roots[i], Aborted)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package acker
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// record collects outcomes thread-safely.
+type record struct {
+	mu       sync.Mutex
+	outcomes map[tuple.ID]Outcome
+	count    int
+}
+
+func newRecord() *record { return &record{outcomes: make(map[tuple.ID]Outcome)} }
+
+func (r *record) handler(root tuple.ID, o Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outcomes[root] = o
+	r.count++
+}
+
+func (r *record) get(root tuple.ID) (Outcome, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.outcomes[root]
+	return o, ok
+}
+
+func TestSimpleTreeCompletes(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 30*time.Second, 3)
+	defer s.Close()
+	rec := newRecord()
+
+	s.Register(1, rec.handler)
+	// Root emits child 2, child 2 emits child 3, all processed.
+	s.Anchor(1, 2)
+	s.Ack(1, 1) // root processed
+	s.Anchor(1, 3)
+	s.Ack(1, 2)
+	if _, done := rec.get(1); done {
+		t.Fatal("tree completed before all acks")
+	}
+	s.Ack(1, 3)
+	if o, done := rec.get(1); !done || o != Completed {
+		t.Fatalf("outcome = %v,%v, want Completed", o, done)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after completion", s.Pending())
+	}
+}
+
+func TestTimeoutFailsTree(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 30*time.Second, 3)
+	defer s.Close()
+	rec := newRecord()
+
+	s.Register(1, rec.handler)
+	s.Anchor(1, 2)
+	s.Ack(1, 1)
+	// Child 2 never acked. Advance past timeout + one bucket slack.
+	clock.Advance(41 * time.Second)
+	if o, done := rec.get(1); !done || o != TimedOut {
+		t.Fatalf("outcome = %v,%v, want TimedOut", o, done)
+	}
+	st := s.Stats()
+	if st.TimedOut != 1 || st.Completed != 0 || st.Registered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestActiveTreeNotExpiredWhileProgressing(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 30*time.Second, 3)
+	defer s.Close()
+	rec := newRecord()
+
+	s.Register(1, rec.handler)
+	s.Anchor(1, 2) // anchor before acking the root, as a task would
+	s.Ack(1, 1)
+	// Keep making progress every 9s; the entry should keep moving to the
+	// newest bucket and never time out even past 30s total.
+	for i := 0; i < 8; i++ {
+		clock.Advance(9 * time.Second)
+		next := tuple.ID(3 + i)
+		s.Anchor(1, next)
+		s.Ack(1, tuple.ID(2+i))
+	}
+	if _, done := rec.get(1); done {
+		t.Fatal("progressing tree was timed out")
+	}
+	// Finish it.
+	s.Ack(1, tuple.ID(2+8))
+	if o, _ := rec.get(1); o != Completed {
+		t.Fatalf("outcome = %v, want Completed", o)
+	}
+}
+
+func TestCloseAbortsPending(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 30*time.Second, 3)
+	rec := newRecord()
+	s.Register(1, rec.handler)
+	s.Register(2, rec.handler)
+	s.Close()
+	for _, root := range []tuple.ID{1, 2} {
+		if o, done := rec.get(root); !done || o != Aborted {
+			t.Fatalf("root %d outcome = %v,%v, want Aborted", root, o, done)
+		}
+	}
+	// Registration after close is ignored.
+	s.Register(3, rec.handler)
+	if s.Pending() != 0 {
+		t.Fatal("Register accepted after Close")
+	}
+}
+
+func TestForget(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 30*time.Second, 3)
+	defer s.Close()
+	rec := newRecord()
+	s.Register(1, rec.handler)
+	s.Forget(1)
+	clock.Advance(2 * time.Minute)
+	if _, done := rec.get(1); done {
+		t.Fatal("forgotten root still reported an outcome")
+	}
+}
+
+func TestDuplicateRegisterIgnored(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 0, 3) // no timeout
+	defer s.Close()
+	rec := newRecord()
+	s.Register(1, rec.handler)
+	s.Register(1, rec.handler)
+	s.Ack(1, 1)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.count != 1 {
+		t.Fatalf("handler ran %d times, want 1", rec.count)
+	}
+}
+
+func TestAckUnknownRootIsNoop(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 0, 3)
+	defer s.Close()
+	s.Ack(99, 99)     // must not panic
+	s.Anchor(99, 100) // must not panic
+	if s.Pending() != 0 {
+		t.Fatal("unknown root created state")
+	}
+}
+
+func TestZeroTimeoutNeverExpires(t *testing.T) {
+	clock := timex.NewManual()
+	s := New(clock, 0, 3)
+	defer s.Close()
+	rec := newRecord()
+	s.Register(1, rec.handler)
+	clock.Advance(24 * time.Hour)
+	if _, done := rec.get(1); done {
+		t.Fatal("tree expired despite timeout=0")
+	}
+}
+
+// Property (the XOR invariant): for any random causal tree processed the
+// way tasks actually process events — a node's children are anchored
+// immediately before the node is acked, and nodes are processed in an
+// order consistent with the tree's partial order — the tree completes on
+// exactly the last ack, never earlier.
+func TestXORCompletionProperty(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%20) + 1 // nodes excluding the root
+		rng := rand.New(rand.NewSource(seed))
+		clock := timex.NewManual()
+		s := New(clock, 0, 3)
+		defer s.Close()
+		rec := newRecord()
+
+		// Random 64-bit IDs, exactly as Storm issues them: the XOR scheme
+		// relies on the vanishing probability that a strict subset of
+		// random IDs XORs to zero (with small sequential IDs it would
+		// collide routinely, e.g. 1^2^3 == 0).
+		newID := func() tuple.ID {
+			for {
+				if id := tuple.ID(rng.Uint64()); id != 0 {
+					return id
+				}
+			}
+		}
+		root := newID()
+		s.Register(root, rec.handler)
+
+		// Random tree: each new node gets a uniformly random parent among
+		// the earlier nodes (or the root).
+		parent := make(map[tuple.ID]tuple.ID, n)
+		ids := []tuple.ID{root}
+		for i := 0; i < n; i++ {
+			id := newID()
+			parent[id] = ids[rng.Intn(len(ids))]
+			ids = append(ids, id)
+		}
+		children := make(map[tuple.ID][]tuple.ID)
+		for id, p := range parent {
+			children[p] = append(children[p], id)
+		}
+
+		// Process nodes in a random order consistent with the tree: a node
+		// becomes eligible once its parent has been processed.
+		processed := make(map[tuple.ID]bool)
+		frontier := []tuple.ID{root}
+		steps := 0
+		for len(frontier) > 0 {
+			k := rng.Intn(len(frontier))
+			node := frontier[k]
+			frontier = append(frontier[:k], frontier[k+1:]...)
+			for _, c := range children[node] {
+				s.Anchor(root, c)
+			}
+			s.Ack(root, node)
+			processed[node] = true
+			frontier = append(frontier, children[node]...)
+			steps++
+			_, done := rec.get(root)
+			if steps < n+1 && done {
+				return false // completed before the last node
+			}
+		}
+		o, done := rec.get(root)
+		return done && o == Completed && steps == n+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAcking(t *testing.T) {
+	clock := timex.NewScaled(0.001)
+	s := New(clock, time.Hour, 3)
+	defer s.Close()
+
+	const trees = 50
+	const children = 40
+	rec := newRecord()
+	var wg sync.WaitGroup
+	for r := 1; r <= trees; r++ {
+		root := tuple.ID(r * 1000)
+		s.Register(root, rec.handler)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Ack(root, root)
+			for c := 1; c <= children; c++ {
+				id := root + tuple.ID(c)
+				s.Anchor(root, id)
+				s.Ack(root, id)
+			}
+		}()
+	}
+	wg.Wait()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.count != trees {
+		t.Fatalf("%d trees completed, want %d", rec.count, trees)
+	}
+	for root, o := range rec.outcomes {
+		if o != Completed {
+			t.Fatalf("root %d outcome %v", root, o)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Completed.String() != "completed" || TimedOut.String() != "timed-out" ||
+		Aborted.String() != "aborted" || Outcome(0).String() != "unknown" {
+		t.Fatal("Outcome strings wrong")
+	}
+}

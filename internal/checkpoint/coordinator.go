@@ -1,0 +1,374 @@
+// Package checkpoint implements the distributed checkpoint protocol that
+// the migration strategies are built from: coordinated waves of PREPARE,
+// COMMIT, ROLLBACK and INIT events flowing over the dataflow (sequential
+// wiring) or directly to every task (broadcast wiring, CCR's hub-and-spoke
+// channel), with per-wave acknowledgment tracking and resend policies.
+//
+// The Coordinator is the paper's "checkpoint source task" (Storm's
+// CheckpointSpout, overridden by the authors). It is transport-agnostic:
+// the runtime supplies a Transport that injects events into the dataflow
+// and lists the instances expected to acknowledge each wave.
+//
+// Wave life cycle (mirroring Storm's three-phase protocol, §2):
+//
+//	PREPARE  – tasks snapshot their user state (and, under CCR, begin
+//	           capturing in-flight events).
+//	COMMIT   – tasks persist the prepared snapshot to the state store.
+//	ROLLBACK – tasks discard the prepared snapshot (sent when a PREPARE
+//	           wave times out).
+//	INIT     – tasks restore the last committed snapshot (after a
+//	           rebalance, or when first joining a stateful dataflow).
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// CoordinatorTask is the pseudo-task name carried by checkpoint events
+// injected by the coordinator.
+const CoordinatorTask = "__checkpoint__"
+
+// Delivery selects how a wave's events reach the tasks.
+type Delivery int
+
+// Delivery modes.
+const (
+	// Sequential routes events along the dataflow edges, so they sweep
+	// behind in-flight data events (rearguard semantics).
+	Sequential Delivery = iota + 1
+	// Broadcast sends events straight from the coordinator to every task
+	// instance (CCR's hub-and-spoke channel).
+	Broadcast
+)
+
+// String implements fmt.Stringer.
+func (d Delivery) String() string {
+	switch d {
+	case Sequential:
+		return "sequential"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Delivery(%d)", int(d))
+	}
+}
+
+// Transport is supplied by the runtime engine to move checkpoint events.
+type Transport interface {
+	// SendBroadcast delivers ev directly to every stateful task instance.
+	SendBroadcast(ev *tuple.Event)
+	// SendFirstLayer injects ev at every instance of the dataflow's first
+	// task layer (tasks fed by the sources), from which sequential waves
+	// sweep downstream.
+	SendFirstLayer(ev *tuple.Event)
+	// ExpectedAckers lists the instance keys that must acknowledge every
+	// wave (the stateful task instances).
+	ExpectedAckers() []string
+}
+
+// ErrWaveTimeout reports a wave that did not fully acknowledge in time.
+var ErrWaveTimeout = errors.New("checkpoint: wave timed out")
+
+// ErrClosed reports use of a closed coordinator.
+var ErrClosed = errors.New("checkpoint: coordinator closed")
+
+// WaveStats counts coordinator activity.
+type WaveStats struct {
+	// Waves counts waves started, by kind string.
+	Waves map[string]int
+	// Resends counts resend rounds across all waves.
+	Resends int
+	// Failures counts waves that timed out.
+	Failures int
+}
+
+// Coordinator runs checkpoint waves. Safe for concurrent use, though
+// strategies run waves one at a time.
+type Coordinator struct {
+	clock     timex.Clock
+	transport Transport
+	idgen     *tuple.IDGen
+
+	mu      sync.Mutex
+	waveSeq uint64
+	active  *waveState
+	closed  bool
+
+	stats WaveStats
+
+	periodicStop chan struct{}
+	periodicWG   sync.WaitGroup
+	periodicMu   sync.Mutex
+	suspended    bool
+}
+
+type waveState struct {
+	wave     uint64
+	kind     tuple.Kind
+	expected map[string]struct{}
+	acked    map[string]struct{}
+	done     chan struct{}
+}
+
+// NewCoordinator returns a coordinator using the given transport.
+func NewCoordinator(clock timex.Clock, transport Transport, idgen *tuple.IDGen) *Coordinator {
+	return &Coordinator{
+		clock:     clock,
+		transport: transport,
+		idgen:     idgen,
+		stats:     WaveStats{Waves: make(map[string]int)},
+	}
+}
+
+// RunWave executes one wave of the given kind and returns once every
+// expected instance has acknowledged it.
+//
+// resend > 0 re-emits the wave's events every resend interval until fully
+// acknowledged — the 1 s aggressive re-INIT of DCR/CCR, or the ~30 s
+// ack-timeout-driven re-INIT of DSM. maxWait > 0 bounds the total wait;
+// on expiry RunWave returns ErrWaveTimeout (callers may then roll back).
+func (c *Coordinator) RunWave(kind tuple.Kind, delivery Delivery, resend, maxWait time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.waveSeq++
+	ws := &waveState{
+		wave:     c.waveSeq,
+		kind:     kind,
+		expected: make(map[string]struct{}),
+		acked:    make(map[string]struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, k := range c.transport.ExpectedAckers() {
+		ws.expected[k] = struct{}{}
+	}
+	c.active = ws
+	c.stats.Waves[kind.String()]++
+	c.mu.Unlock()
+
+	if len(ws.expected) == 0 {
+		return nil
+	}
+
+	send := func(round int) {
+		ev := &tuple.Event{
+			ID:        c.idgen.Next(),
+			Kind:      kind,
+			Wave:      ws.wave,
+			Round:     round,
+			SrcTask:   CoordinatorTask,
+			Broadcast: delivery == Broadcast,
+		}
+		if ev.Broadcast {
+			c.transport.SendBroadcast(ev)
+		} else {
+			c.transport.SendFirstLayer(ev)
+		}
+	}
+
+	deadline := time.Time{}
+	if maxWait > 0 {
+		deadline = c.clock.Now().Add(maxWait)
+	}
+	round := 0
+	send(round)
+	for {
+		var resendCh <-chan time.Time
+		if resend > 0 {
+			resendCh = c.clock.After(resend)
+		}
+		var timeoutCh <-chan time.Time
+		if !deadline.IsZero() {
+			remaining := deadline.Sub(c.clock.Now())
+			if remaining <= 0 {
+				c.finishWave(ws, false)
+				return fmt.Errorf("%w: %s wave %d (%d/%d acked)",
+					ErrWaveTimeout, kind, ws.wave, c.ackedCount(ws), len(ws.expected))
+			}
+			timeoutCh = c.clock.After(remaining)
+		}
+		select {
+		case <-ws.done:
+			return nil
+		case <-resendCh:
+			round++
+			c.mu.Lock()
+			c.stats.Resends++
+			c.mu.Unlock()
+			send(round)
+		case <-timeoutCh:
+			c.finishWave(ws, false)
+			return fmt.Errorf("%w: %s wave %d (%d/%d acked)",
+				ErrWaveTimeout, kind, ws.wave, c.ackedCount(ws), len(ws.expected))
+		}
+	}
+}
+
+func (c *Coordinator) ackedCount(ws *waveState) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(ws.acked)
+}
+
+func (c *Coordinator) finishWave(ws *waveState, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == ws {
+		c.active = nil
+	}
+	if !ok {
+		c.stats.Failures++
+	}
+}
+
+// Ack records instance's acknowledgment of the given wave. Acks for stale
+// waves or duplicate acks are ignored (resent INITs produce duplicates).
+func (c *Coordinator) Ack(instanceKey string, wave uint64) {
+	c.mu.Lock()
+	ws := c.active
+	if ws == nil || ws.wave != wave {
+		c.mu.Unlock()
+		return
+	}
+	if _, expected := ws.expected[instanceKey]; !expected {
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := ws.acked[instanceKey]; dup {
+		c.mu.Unlock()
+		return
+	}
+	ws.acked[instanceKey] = struct{}{}
+	complete := len(ws.acked) == len(ws.expected)
+	if complete {
+		c.active = nil
+	}
+	c.mu.Unlock()
+	if complete {
+		close(ws.done)
+	}
+}
+
+// Checkpoint runs a full PREPARE→COMMIT cycle with the given delivery for
+// the PREPARE phase (COMMIT always sweeps sequentially so it lands behind
+// all in-flight data; see §3.2). If the PREPARE wave times out, a
+// ROLLBACK wave is sent and an error returned.
+func (c *Coordinator) Checkpoint(prepareDelivery Delivery, ackTimeout time.Duration) error {
+	if err := c.RunWave(tuple.Prepare, prepareDelivery, 0, ackTimeout); err != nil {
+		// Roll back best-effort: surviving tasks discard their prepared
+		// snapshots and resume; tasks that failed to ack the PREPARE (the
+		// usual cause of the timeout) are dead and have nothing to roll
+		// back, so an incomplete rollback wave is not an error.
+		_ = c.RunWave(tuple.Rollback, Broadcast, 0, ackTimeout)
+		return fmt.Errorf("prepare failed, rolled back: %w", err)
+	}
+	if err := c.RunWave(tuple.Commit, Sequential, 0, ackTimeout); err != nil {
+		return fmt.Errorf("commit failed: %w", err)
+	}
+	return nil
+}
+
+// StartPeriodic begins DSM-style periodic checkpointing every interval
+// (Storm's default is 30 s). Waves overlap neither each other nor
+// migration-initiated waves: while a wave is active or the coordinator is
+// suspended, the tick is skipped. Call StopPeriodic to halt.
+func (c *Coordinator) StartPeriodic(interval, ackTimeout time.Duration) {
+	c.mu.Lock()
+	if c.periodicStop != nil || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.periodicStop = stop
+	c.mu.Unlock()
+
+	c.periodicWG.Add(1)
+	go func() {
+		defer c.periodicWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-c.clock.After(interval):
+			}
+			if c.isSuspended() || c.hasActiveWave() {
+				continue
+			}
+			// Periodic waves sweep sequentially, as in Storm.
+			_ = c.Checkpoint(Sequential, ackTimeout)
+		}
+	}()
+}
+
+// StopPeriodic halts periodic checkpointing and waits for any in-flight
+// tick to finish scheduling.
+func (c *Coordinator) StopPeriodic() {
+	c.mu.Lock()
+	stop := c.periodicStop
+	c.periodicStop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// Suspend pauses periodic checkpointing (during migration enactment).
+func (c *Coordinator) Suspend() {
+	c.periodicMu.Lock()
+	defer c.periodicMu.Unlock()
+	c.suspended = true
+}
+
+// Resume re-enables periodic checkpointing.
+func (c *Coordinator) Resume() {
+	c.periodicMu.Lock()
+	defer c.periodicMu.Unlock()
+	c.suspended = false
+}
+
+func (c *Coordinator) isSuspended() bool {
+	c.periodicMu.Lock()
+	defer c.periodicMu.Unlock()
+	return c.suspended
+}
+
+func (c *Coordinator) hasActiveWave() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active != nil
+}
+
+// Stats returns a copy of the coordinator counters.
+func (c *Coordinator) Stats() WaveStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := WaveStats{Waves: make(map[string]int, len(c.stats.Waves)), Resends: c.stats.Resends, Failures: c.stats.Failures}
+	for k, v := range c.stats.Waves {
+		out.Waves[k] = v
+	}
+	return out
+}
+
+// Close stops periodic checkpointing and aborts any active wave. RunWave
+// callers blocked on the active wave return ErrWaveTimeout via their
+// maxWait, or hang on resend forever otherwise — strategies always pass a
+// maxWait, and the engine closes the coordinator only after strategies
+// finish.
+func (c *Coordinator) Close() {
+	c.StopPeriodic()
+	c.periodicWG.Wait()
+	c.mu.Lock()
+	c.closed = true
+	ws := c.active
+	c.active = nil
+	c.mu.Unlock()
+	_ = ws
+}

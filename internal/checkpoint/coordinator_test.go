@@ -1,0 +1,337 @@
+package checkpoint
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// fakeTransport records sent events and can auto-ack a subset of
+// instances, simulating tasks that are up while others are still starting.
+type fakeTransport struct {
+	coord *Coordinator
+
+	mu         sync.Mutex
+	broadcasts []*tuple.Event
+	firstLayer []*tuple.Event
+	ackers     []string
+	autoAck    map[string]bool // instances that ack instantly on receipt
+}
+
+func newFakeTransport(ackers ...string) *fakeTransport {
+	auto := make(map[string]bool, len(ackers))
+	for _, a := range ackers {
+		auto[a] = true
+	}
+	return &fakeTransport{ackers: ackers, autoAck: auto}
+}
+
+func (f *fakeTransport) SendBroadcast(ev *tuple.Event) {
+	f.mu.Lock()
+	f.broadcasts = append(f.broadcasts, ev)
+	acks := f.acksLocked()
+	f.mu.Unlock()
+	for _, a := range acks {
+		f.coord.Ack(a, ev.Wave)
+	}
+}
+
+func (f *fakeTransport) SendFirstLayer(ev *tuple.Event) {
+	f.mu.Lock()
+	f.firstLayer = append(f.firstLayer, ev)
+	acks := f.acksLocked()
+	f.mu.Unlock()
+	for _, a := range acks {
+		f.coord.Ack(a, ev.Wave)
+	}
+}
+
+func (f *fakeTransport) acksLocked() []string {
+	var out []string
+	for _, a := range f.ackers {
+		if f.autoAck[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (f *fakeTransport) ExpectedAckers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.ackers))
+	copy(out, f.ackers)
+	return out
+}
+
+func (f *fakeTransport) setAuto(inst string, on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.autoAck[inst] = on
+}
+
+func (f *fakeTransport) sent() (broadcast, sequential int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.broadcasts), len(f.firstLayer)
+}
+
+func newCoordFixture(ackers ...string) (*Coordinator, *fakeTransport, *timex.ManualClock) {
+	clock := timex.NewManual()
+	tr := newFakeTransport(ackers...)
+	var gen tuple.IDGen
+	c := NewCoordinator(clock, tr, &gen)
+	tr.coord = c
+	return c, tr, clock
+}
+
+func TestWaveCompletesWhenAllAck(t *testing.T) {
+	c, tr, _ := newCoordFixture("A[0]", "B[0]", "B[1]")
+	if err := c.RunWave(tuple.Prepare, Sequential, 0, 0); err != nil {
+		t.Fatalf("RunWave: %v", err)
+	}
+	_, seq := tr.sent()
+	if seq != 1 {
+		t.Fatalf("sequential sends = %d, want 1", seq)
+	}
+	st := c.Stats()
+	if st.Waves["PREPARE"] != 1 || st.Resends != 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	c, tr, _ := newCoordFixture("A[0]")
+	if err := c.RunWave(tuple.Init, Broadcast, 0, 0); err != nil {
+		t.Fatalf("RunWave: %v", err)
+	}
+	bc, seq := tr.sent()
+	if bc != 1 || seq != 0 {
+		t.Fatalf("sends = %d broadcast, %d sequential", bc, seq)
+	}
+}
+
+func TestWaveTimesOutWithStragglers(t *testing.T) {
+	c, tr, clock := newCoordFixture("A[0]", "B[0]")
+	tr.setAuto("B[0]", false) // B never acks
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.RunWave(tuple.Prepare, Sequential, 0, 30*time.Second) }()
+	waitPending(t, clock)
+	clock.Advance(31 * time.Second)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrWaveTimeout) {
+			t.Fatalf("err = %v, want ErrWaveTimeout", err)
+		}
+		if !strings.Contains(err.Error(), "1/2 acked") {
+			t.Fatalf("err %q lacks ack progress", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunWave never returned")
+	}
+	if st := c.Stats(); st.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestResendUntilLateTaskComesUp(t *testing.T) {
+	c, tr, clock := newCoordFixture("A[0]", "B[0]")
+	tr.setAuto("B[0]", false) // B is still starting
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.RunWave(tuple.Init, Broadcast, time.Second, 0) }()
+	waitPending(t, clock)
+
+	// Two resend rounds pass with B down.
+	clock.Advance(time.Second)
+	waitPending(t, clock)
+	clock.Advance(time.Second)
+	waitPending(t, clock)
+	// B comes up; the next resend reaches it.
+	tr.setAuto("B[0]", true)
+	clock.Advance(time.Second)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("RunWave: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunWave never completed after B came up")
+	}
+	bc, _ := tr.sent()
+	if bc < 4 {
+		t.Fatalf("broadcast sends = %d, want >= 4 (initial + 3 rounds)", bc)
+	}
+	if st := c.Stats(); st.Resends < 3 {
+		t.Fatalf("resends = %d, want >= 3", st.Resends)
+	}
+}
+
+func TestDuplicateAndStaleAcksIgnored(t *testing.T) {
+	c, tr, _ := newCoordFixture("A[0]", "B[0]")
+	tr.setAuto("A[0]", false)
+	tr.setAuto("B[0]", false)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.RunWave(tuple.Prepare, Sequential, 0, 0) }()
+	// Wait until the wave is registered.
+	for {
+		if c.hasActiveWave() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Ack("A[0]", 1)
+	c.Ack("A[0]", 1)   // duplicate
+	c.Ack("Z[9]", 1)   // unexpected instance
+	c.Ack("B[0]", 999) // stale wave
+	select {
+	case <-errCh:
+		t.Fatal("wave completed from duplicate/stale acks")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Ack("B[0]", 1)
+	if err := <-errCh; err != nil {
+		t.Fatalf("RunWave: %v", err)
+	}
+}
+
+func TestCheckpointPrepareCommitCycle(t *testing.T) {
+	c, tr, _ := newCoordFixture("A[0]")
+	if err := c.Checkpoint(Sequential, 0); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	_, seq := tr.sent()
+	if seq != 2 { // PREPARE + COMMIT
+		t.Fatalf("sequential sends = %d, want 2", seq)
+	}
+	st := c.Stats()
+	if st.Waves["PREPARE"] != 1 || st.Waves["COMMIT"] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointRollsBackOnPrepareTimeout(t *testing.T) {
+	c, tr, clock := newCoordFixture("A[0]", "B[0]")
+	tr.setAuto("B[0]", false)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Checkpoint(Sequential, 10*time.Second) }()
+	waitPending(t, clock)
+	clock.Advance(11 * time.Second) // PREPARE times out
+	// The rollback wave only needs the running tasks; B still won't ack,
+	// so let the rollback time out too after another advance... instead,
+	// bring B up so the rollback completes cleanly.
+	tr.setAuto("B[0]", true)
+	waitPending(t, clock)
+	clock.Advance(11 * time.Second)
+
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "rolled back") {
+			t.Fatalf("err = %v, want rolled-back prepare failure", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Checkpoint never returned")
+	}
+	st := c.Stats()
+	if st.Waves["ROLLBACK"] != 1 {
+		t.Fatalf("rollback waves = %d, want 1", st.Waves["ROLLBACK"])
+	}
+}
+
+func TestPeriodicCheckpointing(t *testing.T) {
+	c, _, clock := newCoordFixture("A[0]")
+	c.StartPeriodic(30*time.Second, 10*time.Second)
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		waitPending(t, clock) // periodic goroutine must block on After first
+		clock.Advance(30 * time.Second)
+		// Allow the periodic goroutine to run its wave (auto-acked
+		// synchronously inside Send*).
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			st := c.Stats()
+			if st.Waves["COMMIT"] >= i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("periodic wave %d never committed: %+v", i+1, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSuspendSkipsPeriodicTicks(t *testing.T) {
+	c, _, clock := newCoordFixture("A[0]")
+	c.Suspend()
+	c.StartPeriodic(30*time.Second, 10*time.Second)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		waitPending(t, clock)
+		clock.Advance(31 * time.Second)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := c.Stats(); len(st.Waves) != 0 {
+		t.Fatalf("suspended coordinator ran waves: %+v", st.Waves)
+	}
+	c.Resume()
+	waitPending(t, clock)
+	clock.Advance(31 * time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := c.Stats(); st.Waves["PREPARE"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resumed coordinator never checkpointed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClosedCoordinatorRejectsWaves(t *testing.T) {
+	c, _, _ := newCoordFixture("A[0]")
+	c.Close()
+	if err := c.RunWave(tuple.Prepare, Sequential, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEmptyAckerSetCompletesImmediately(t *testing.T) {
+	c, _, _ := newCoordFixture()
+	if err := c.RunWave(tuple.Prepare, Sequential, 0, 0); err != nil {
+		t.Fatalf("RunWave with no ackers: %v", err)
+	}
+}
+
+func TestDeliveryString(t *testing.T) {
+	if Sequential.String() != "sequential" || Broadcast.String() != "broadcast" {
+		t.Fatal("Delivery strings wrong")
+	}
+	if !strings.Contains(Delivery(9).String(), "9") {
+		t.Fatal("unknown delivery string")
+	}
+}
+
+// waitPending spins until the manual clock has at least one pending timer,
+// i.e. the goroutine under test has blocked on After.
+func waitPending(t *testing.T, clock *timex.ManualClock) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for clock.PendingTimers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no pending timers; goroutine never blocked on clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

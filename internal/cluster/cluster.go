@@ -1,0 +1,216 @@
+// Package cluster models the elastic Cloud substrate the dataflow runs
+// on: VM types with per-core resource slots, a provisioner that acquires
+// and releases VMs, a network latency model distinguishing intra-slot,
+// intra-VM and inter-VM hops, and a pay-per-minute billing model.
+//
+// The paper's testbed uses Azure D-series VMs (D1/D2/D3 with 1/2/4
+// one-core slots), a separate 4-slot VM pinned to the source and sink
+// tasks, and a D3 VM for Redis.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// VMType describes a provisionable VM flavor.
+type VMType struct {
+	// Name is the flavor name, e.g. "D2".
+	Name string
+	// Slots is the number of one-core resource slots.
+	Slots int
+	// PricePerMinute is the billing rate in arbitrary currency units.
+	PricePerMinute float64
+}
+
+// Azure D-series flavors used in the paper's experiments. Prices follow
+// the historical Azure Southeast Asia linear-in-cores pricing.
+var (
+	D1 = VMType{Name: "D1", Slots: 1, PricePerMinute: 0.0016}
+	D2 = VMType{Name: "D2", Slots: 2, PricePerMinute: 0.0032}
+	D3 = VMType{Name: "D3", Slots: 4, PricePerMinute: 0.0064}
+)
+
+// TypeByName resolves a flavor by name.
+func TypeByName(name string) (VMType, error) {
+	switch name {
+	case "D1":
+		return D1, nil
+	case "D2":
+		return D2, nil
+	case "D3":
+		return D3, nil
+	default:
+		return VMType{}, fmt.Errorf("cluster: unknown VM type %q", name)
+	}
+}
+
+// SlotRef addresses one resource slot on one VM.
+type SlotRef struct {
+	// VM is the VM identifier.
+	VM string
+	// Slot is the slot index in [0, VMType.Slots).
+	Slot int
+}
+
+// String implements fmt.Stringer, e.g. "vm-3:1".
+func (s SlotRef) String() string { return fmt.Sprintf("%s:%d", s.VM, s.Slot) }
+
+// VM is one provisioned machine.
+type VM struct {
+	// ID is unique within the cluster.
+	ID string
+	// Type is the VM flavor.
+	Type VMType
+	// Pinned marks VMs excluded from migration (the source/sink VM).
+	Pinned bool
+	// AcquiredAt is the paper-time instant the VM was provisioned,
+	// for billing.
+	AcquiredAt time.Time
+}
+
+// Slots enumerates all slot references on the VM.
+func (v *VM) Slots() []SlotRef {
+	out := make([]SlotRef, v.Type.Slots)
+	for i := range out {
+		out[i] = SlotRef{VM: v.ID, Slot: i}
+	}
+	return out
+}
+
+// Cluster is the set of currently provisioned VMs. It is safe for
+// concurrent use.
+type Cluster struct {
+	mu   sync.RWMutex
+	vms  map[string]*VM
+	next int
+}
+
+// New returns an empty cluster.
+func New() *Cluster {
+	return &Cluster{vms: make(map[string]*VM)}
+}
+
+// Provision adds n VMs of the given type at paper-time now and returns
+// them in creation order.
+func (c *Cluster) Provision(t VMType, n int, now time.Time) []*VM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*VM, 0, n)
+	for i := 0; i < n; i++ {
+		vm := &VM{ID: fmt.Sprintf("vm-%d", c.next), Type: t, AcquiredAt: now}
+		c.next++
+		c.vms[vm.ID] = vm
+		out = append(out, vm)
+	}
+	return out
+}
+
+// ProvisionPinned adds one pinned VM (hosting source and sink tasks).
+func (c *Cluster) ProvisionPinned(t VMType, now time.Time) *VM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vm := &VM{ID: fmt.Sprintf("vm-%d", c.next), Type: t, Pinned: true, AcquiredAt: now}
+	c.next++
+	c.vms[vm.ID] = vm
+	return vm
+}
+
+// Release removes the VM with the given ID. Releasing an unknown VM is an
+// error to catch double-release bugs.
+func (c *Cluster) Release(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.vms[id]; !ok {
+		return fmt.Errorf("cluster: release of unknown VM %q", id)
+	}
+	delete(c.vms, id)
+	return nil
+}
+
+// VM returns the VM with the given ID, or nil.
+func (c *Cluster) VM(id string) *VM {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vms[id]
+}
+
+// VMs returns all VMs sorted by ID for deterministic iteration.
+func (c *Cluster) VMs() []*VM {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*VM, 0, len(c.vms))
+	for _, vm := range c.vms {
+		out = append(out, vm)
+	}
+	sort.Slice(out, func(i, j int) bool { return numLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// UnpinnedSlots enumerates the slots of all non-pinned VMs, VMs in ID
+// order, slots in index order. This is the slot pool schedulers place
+// migratable tasks on.
+func (c *Cluster) UnpinnedSlots() []SlotRef {
+	var out []SlotRef
+	for _, vm := range c.VMs() {
+		if vm.Pinned {
+			continue
+		}
+		out = append(out, vm.Slots()...)
+	}
+	return out
+}
+
+// PinnedSlots enumerates the slots of pinned VMs.
+func (c *Cluster) PinnedSlots() []SlotRef {
+	var out []SlotRef
+	for _, vm := range c.VMs() {
+		if !vm.Pinned {
+			continue
+		}
+		out = append(out, vm.Slots()...)
+	}
+	return out
+}
+
+// numLess orders "vm-2" before "vm-10".
+func numLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// Cost returns the total billing cost of all currently provisioned VMs
+// from their acquisition to paper-time now, rounded up to whole minutes
+// per VM (Azure-style per-minute billing).
+func (c *Cluster) Cost(now time.Time) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0.0
+	for _, vm := range c.vms {
+		mins := now.Sub(vm.AcquiredAt).Minutes()
+		if mins < 0 {
+			mins = 0
+		}
+		whole := float64(int(mins))
+		if mins > whole {
+			whole++
+		}
+		total += whole * vm.Type.PricePerMinute
+	}
+	return total
+}
+
+// RatePerMinute returns the instantaneous billing rate of the cluster.
+func (c *Cluster) RatePerMinute() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r := 0.0
+	for _, vm := range c.vms {
+		r += vm.Type.PricePerMinute
+	}
+	return r
+}

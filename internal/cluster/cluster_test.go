@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/timex"
+)
+
+func TestTypeByName(t *testing.T) {
+	for _, name := range []string{"D1", "D2", "D3"} {
+		vt, err := TypeByName(name)
+		if err != nil || vt.Name != name {
+			t.Errorf("TypeByName(%s) = %v, %v", name, vt, err)
+		}
+	}
+	if _, err := TypeByName("D99"); err == nil {
+		t.Error("TypeByName(D99) succeeded")
+	}
+	if D1.Slots != 1 || D2.Slots != 2 || D3.Slots != 4 {
+		t.Error("D-series slot counts wrong")
+	}
+}
+
+func TestProvisionAndSlots(t *testing.T) {
+	c := New()
+	now := timex.Epoch
+	vms := c.Provision(D2, 3, now)
+	if len(vms) != 3 {
+		t.Fatalf("provisioned %d VMs, want 3", len(vms))
+	}
+	slots := c.UnpinnedSlots()
+	if len(slots) != 6 {
+		t.Fatalf("%d unpinned slots, want 6", len(slots))
+	}
+	// Deterministic order: vm-0:0, vm-0:1, vm-1:0, ...
+	if slots[0].String() != "vm-0:0" || slots[2].String() != "vm-1:0" {
+		t.Fatalf("slot order wrong: %v", slots)
+	}
+	pinned := c.ProvisionPinned(D3, now)
+	if !pinned.Pinned {
+		t.Fatal("ProvisionPinned VM not pinned")
+	}
+	if got := len(c.UnpinnedSlots()); got != 6 {
+		t.Fatalf("pinned VM leaked into unpinned slots: %d", got)
+	}
+	if got := len(c.PinnedSlots()); got != 4 {
+		t.Fatalf("pinned slots = %d, want 4", got)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	c := New()
+	vms := c.Provision(D1, 2, timex.Epoch)
+	if err := c.Release(vms[0].ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := c.Release(vms[0].ID); err == nil {
+		t.Fatal("double Release succeeded")
+	}
+	if c.VM(vms[0].ID) != nil {
+		t.Fatal("released VM still present")
+	}
+	if c.VM(vms[1].ID) == nil {
+		t.Fatal("unreleased VM missing")
+	}
+}
+
+func TestVMsSortedNumerically(t *testing.T) {
+	c := New()
+	c.Provision(D1, 12, timex.Epoch)
+	vms := c.VMs()
+	if vms[1].ID != "vm-1" || vms[10].ID != "vm-10" {
+		t.Fatalf("VMs not numerically sorted: %v, %v", vms[1].ID, vms[10].ID)
+	}
+}
+
+func TestCostPerMinuteBilling(t *testing.T) {
+	c := New()
+	start := timex.Epoch
+	c.Provision(D2, 5, start) // paper's Linear default: would be 3, use 5
+	// 90 seconds -> billed as 2 whole minutes per VM.
+	got := c.Cost(start.Add(90 * time.Second))
+	want := 5 * 2 * D2.PricePerMinute
+	if got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+	// Exactly 60s -> 1 minute.
+	if got := c.Cost(start.Add(time.Minute)); got != 5*D2.PricePerMinute {
+		t.Fatalf("Cost(60s) = %v", got)
+	}
+}
+
+func TestScaleInReducesBillingRate(t *testing.T) {
+	// Paper Fig. 1: 5×2-core -> 2×4-core lowers cost.
+	before := New()
+	before.Provision(D2, 5, timex.Epoch)
+	after := New()
+	after.Provision(D3, 2, timex.Epoch)
+	if after.RatePerMinute() >= before.RatePerMinute() {
+		t.Fatalf("scale-in rate %v not below %v", after.RatePerMinute(), before.RatePerMinute())
+	}
+}
+
+func TestNetworkLatencyOrdering(t *testing.T) {
+	n := DefaultNetwork()
+	a := SlotRef{VM: "vm-0", Slot: 0}
+	b := SlotRef{VM: "vm-0", Slot: 1}
+	c := SlotRef{VM: "vm-1", Slot: 0}
+	if !(n.Latency(a, a) < n.Latency(a, b) && n.Latency(a, b) < n.Latency(a, c)) {
+		t.Fatalf("latency ordering violated: %v %v %v",
+			n.Latency(a, a), n.Latency(a, b), n.Latency(a, c))
+	}
+}
+
+func TestNetworkLatencySymmetric(t *testing.T) {
+	f := func(vmA, vmB uint8, slotA, slotB uint8) bool {
+		n := DefaultNetwork()
+		a := SlotRef{VM: "vm-" + string(rune('0'+vmA%4)), Slot: int(slotA % 4)}
+		b := SlotRef{VM: "vm-" + string(rune('0'+vmB%4)), Slot: int(slotB % 4)}
+		return n.Latency(a, b) == n.Latency(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total unpinned slot count always equals the sum over VM types.
+func TestSlotCountProperty(t *testing.T) {
+	f := func(n1, n2, n3 uint8) bool {
+		a, b, c := int(n1%5), int(n2%5), int(n3%5)
+		cl := New()
+		cl.Provision(D1, a, timex.Epoch)
+		cl.Provision(D2, b, timex.Epoch)
+		cl.Provision(D3, c, timex.Epoch)
+		return len(cl.UnpinnedSlots()) == a+2*b+4*c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import "time"
+
+// NetworkModel gives the one-way delivery latency between two slots. The
+// paper's testbed shares a 1 Gbps LAN; consolidation onto fewer VMs
+// reduces network hops, which is one of the motivations for scale-in
+// (§2, Fig. 1).
+type NetworkModel struct {
+	// SameSlot is the latency between tasks sharing one slot (in-process
+	// queue handoff).
+	SameSlot time.Duration
+	// IntraVM is the latency between slots on the same VM (loopback).
+	IntraVM time.Duration
+	// InterVM is the latency between different VMs (LAN hop).
+	InterVM time.Duration
+}
+
+// DefaultNetwork approximates the paper's Azure LAN: microseconds in
+// process, ~0.3 ms loopback, ~1.2 ms between VMs.
+func DefaultNetwork() NetworkModel {
+	return NetworkModel{
+		SameSlot: 20 * time.Microsecond,
+		IntraVM:  300 * time.Microsecond,
+		InterVM:  1200 * time.Microsecond,
+	}
+}
+
+// Latency returns the one-way delivery latency from slot a to slot b.
+func (n NetworkModel) Latency(a, b SlotRef) time.Duration {
+	switch {
+	case a == b:
+		return n.SameSlot
+	case a.VM == b.VM:
+		return n.IntraVM
+	default:
+		return n.InterVM
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+// Controller is a reactive elasticity loop layered on top of the
+// migration strategies. The paper deliberately scopes out *deciding* when
+// and where to migrate ("having a new schedule is a precursor to the
+// dynamic enactment of the schedule, which we target") — the Controller
+// supplies that precursor in its simplest robust form, so the repository
+// is usable end to end:
+//
+//	monitor input rate → pick a VM allocation → place with a scheduler →
+//	enact with a Strategy (DCR/CCR for reliability, DSM if you must).
+//
+// The policy is utilization-band driven. Parallelism is fixed at
+// deployment (one slot per instance, Table 1), so elasticity here means
+// repacking the same slots onto a different VM fleet — the paper's two
+// scenarios exactly: consolidate onto few multi-slot VMs when
+// per-instance utilization sinks below Low (cheaper, better locality),
+// spread onto single-slot VMs when it climbs above High (full core per
+// instance, no neighbors).
+type Controller struct {
+	// Engine is the running dataflow.
+	Engine *runtime.Engine
+	// Cluster supplies and receives VMs.
+	Cluster *cluster.Cluster
+	// Strategy enacts the migrations (DCR or CCR recommended).
+	Strategy Strategy
+	// Scheduler places instances on the new slot pool.
+	Scheduler scheduler.Scheduler
+	// ConsolidateType is the multi-slot flavor used when scaling in
+	// (D3 in the paper); SpreadType the flavor when scaling out (D1).
+	ConsolidateType, SpreadType cluster.VMType
+	// CapacityPerSlot is the per-instance processing capacity in ev/s
+	// (10 ev/s for 100 ms tasks).
+	CapacityPerSlot float64
+	// Low and High are the utilization band bounds (e.g. 0.5 and 0.9):
+	// below Low the controller consolidates, above High it spreads.
+	Low, High float64
+
+	mu         sync.Mutex
+	migrations int
+	lastErr    error
+}
+
+// Plan is a proposed reallocation.
+type Plan struct {
+	// VMType is the flavor to provision.
+	VMType cluster.VMType
+	// VMs is the number of VMType VMs to run the inner tasks on.
+	VMs int
+	// Reason explains the decision for operators.
+	Reason string
+}
+
+// Evaluate inspects the offered rate and decides whether a reallocation
+// is warranted. rate is the aggregate input rate observed at the sources
+// (ev/s); cur describes the current fleet. Returns nil when the current
+// deployment is inside the band or already matches the target shape.
+func (c *Controller) Evaluate(rate float64, cur cluster.VMType, curVMs int) *Plan {
+	if c.CapacityPerSlot <= 0 || c.minSlots() == 0 {
+		return nil
+	}
+	slots := c.minSlots() // one slot per instance, always
+	util := rate * c.demandMultiplier() / float64(slots) / c.CapacityPerSlot
+	var target cluster.VMType
+	var verb string
+	switch {
+	case util < c.Low:
+		target, verb = c.ConsolidateType, "scale-in"
+	case util > c.High:
+		target, verb = c.SpreadType, "scale-out"
+	default:
+		return nil
+	}
+	vms := int(math.Ceil(float64(slots) / float64(target.Slots)))
+	if target == cur && vms == curVMs {
+		return nil // already in the target shape
+	}
+	return &Plan{
+		VMType: target,
+		VMs:    vms,
+		Reason: fmt.Sprintf("%s: utilization %.2f outside [%.2f, %.2f]; repack %d slots from %d x %s to %d x %s",
+			verb, util, c.Low, c.High, slots, curVMs, cur.Name, vms, target.Name),
+	}
+}
+
+// demandMultiplier converts source rate to aggregate instance demand: the
+// sum of task input rates per unit of source rate (e.g. 25 instance-
+// events per root for Grid at 8 ev/s ⇒ multiplier ≈ 25/8).
+func (c *Controller) demandMultiplier() float64 {
+	topo := c.Engine.Topology()
+	rates := topo.InputRate(1) // per 1 ev/s of source rate
+	total := 0.0
+	for _, task := range topo.Inner() {
+		total += rates[task.Name]
+	}
+	return total
+}
+
+// minSlots is the structural minimum: one slot per inner instance.
+func (c *Controller) minSlots() int {
+	return c.Engine.Topology().TotalInstances(topology.RoleInner)
+}
+
+// Apply provisions the plan's VMs, computes the placement, and enacts the
+// migration with the configured strategy. The old VMs are not released
+// here — callers own VM lifecycle (they may want the old pool for
+// rollback).
+func (c *Controller) Apply(plan *Plan) error {
+	if plan == nil {
+		return nil
+	}
+	now := c.Engine.Clock().Now()
+	vms := c.Cluster.Provision(plan.VMType, plan.VMs, now)
+	var slots []cluster.SlotRef
+	for _, vm := range vms {
+		slots = append(slots, vm.Slots()...)
+	}
+	inner := c.Engine.Topology().Instances(topology.RoleInner)
+	sched, err := c.Scheduler.Place(inner, slots)
+	if err != nil {
+		// Release the unusable pool before reporting.
+		for _, vm := range vms {
+			_ = c.Cluster.Release(vm.ID)
+		}
+		return fmt.Errorf("core: controller placement: %w", err)
+	}
+	if err := c.Strategy.Migrate(c.Engine, sched); err != nil {
+		c.mu.Lock()
+		c.lastErr = err
+		c.mu.Unlock()
+		return fmt.Errorf("core: controller enactment: %w", err)
+	}
+	c.mu.Lock()
+	c.migrations++
+	c.mu.Unlock()
+	return nil
+}
+
+// Run polls every interval for the given number of rounds, evaluating
+// the offered rate against the current fleet and applying any plan.
+// rateFn supplies the current offered rate; fleetFn the current fleet
+// shape. Used by tests and the autoscale example; production deployments
+// would drive Evaluate/Apply from their own monitoring.
+func (c *Controller) Run(interval time.Duration, rounds int, rateFn func() float64, fleetFn func() (cluster.VMType, int)) error {
+	for i := 0; rounds == 0 || i < rounds; i++ {
+		c.Engine.Clock().Sleep(interval)
+		cur, n := fleetFn()
+		plan := c.Evaluate(rateFn(), cur, n)
+		if plan == nil {
+			continue
+		}
+		if err := c.Apply(plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Migrations reports how many reallocations the controller enacted.
+func (c *Controller) Migrations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrations
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+)
+
+// controllerFixture wires a Controller around the linear-3 engine
+// fixture.
+func controllerFixture(t *testing.T, s Strategy) (*fixture, *Controller, *cluster.Cluster) {
+	t.Helper()
+	f := newFixture(t, s)
+	clus := cluster.New()
+	ctrl := &Controller{
+		Engine:          f.eng,
+		Cluster:         clus,
+		Strategy:        s,
+		Scheduler:       scheduler.RoundRobin{},
+		ConsolidateType: cluster.D3,
+		SpreadType:      cluster.D1,
+		CapacityPerSlot: 500, // test config: 2 ms tasks
+		Low:             0.5,
+		High:            0.9,
+	}
+	return f, ctrl, clus
+}
+
+func TestControllerEvaluateInsideBandIsNil(t *testing.T) {
+	f, ctrl, _ := controllerFixture(t, DCR{})
+	defer f.eng.Stop()
+	// linear-3: demand multiplier 3 (three unit tasks), 3 slots fixed.
+	// util in [0.5, 0.9] => rate in [250, 450].
+	if plan := ctrl.Evaluate(350, cluster.D2, 2); plan != nil {
+		t.Fatalf("Evaluate inside band returned %+v", plan)
+	}
+}
+
+func TestControllerEvaluateScaleOut(t *testing.T) {
+	f, ctrl, _ := controllerFixture(t, DCR{})
+	defer f.eng.Stop()
+	// util = 3*rate/3/500 > 0.9 => rate > 450: spread to 1-slot VMs.
+	plan := ctrl.Evaluate(600, cluster.D2, 2)
+	if plan == nil {
+		t.Fatal("no plan for overloaded deployment")
+	}
+	if !strings.Contains(plan.Reason, "scale-out") {
+		t.Fatalf("reason = %q", plan.Reason)
+	}
+	if plan.VMType != cluster.D1 || plan.VMs != 3 {
+		t.Fatalf("plan = %d x %s, want 3 x D1", plan.VMs, plan.VMType.Name)
+	}
+}
+
+func TestControllerEvaluateScaleInRespectsStructuralMinimum(t *testing.T) {
+	f, ctrl, _ := controllerFixture(t, DCR{})
+	defer f.eng.Stop()
+	// Very low rate: consolidate the 3 slots onto one D3 VM.
+	plan := ctrl.Evaluate(10, cluster.D2, 2)
+	if plan == nil {
+		t.Fatal("no scale-in plan for idle deployment")
+	}
+	if !strings.Contains(plan.Reason, "scale-in") {
+		t.Fatalf("reason = %q", plan.Reason)
+	}
+	if plan.VMType != cluster.D3 || plan.VMs != 1 {
+		t.Fatalf("plan = %d x %s, want 1 x D3", plan.VMs, plan.VMType.Name)
+	}
+	// Already consolidated: no further plan.
+	if p2 := ctrl.Evaluate(10, cluster.D3, 1); p2 != nil {
+		t.Fatalf("re-plan for already-consolidated fleet: %+v", p2)
+	}
+}
+
+func TestControllerApplyEnactsMigration(t *testing.T) {
+	f, ctrl, _ := controllerFixture(t, CCR{})
+	f.eng.Start()
+	defer f.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return f.eng.Audit().SinkArrivals() >= 30
+	})
+	plan := &Plan{VMType: cluster.D3, VMs: 1, Reason: "test consolidation"}
+	if err := ctrl.Apply(plan); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ctrl.Migrations() != 1 {
+		t.Fatalf("Migrations = %d", ctrl.Migrations())
+	}
+	before := f.eng.Audit().SinkArrivals()
+	waitUntil(t, 15*time.Second, "post-apply flow", func() bool {
+		return f.eng.Audit().SinkArrivals() > before+20
+	})
+	if lost := f.eng.Audit().Lost(f.eng.Clock().Now().Add(-time.Second)); len(lost) != 0 {
+		t.Fatalf("controller migration lost %d payloads", len(lost))
+	}
+}
+
+func TestControllerApplyNilPlanIsNoop(t *testing.T) {
+	f, ctrl, _ := controllerFixture(t, DCR{})
+	defer f.eng.Stop()
+	if err := ctrl.Apply(nil); err != nil {
+		t.Fatalf("Apply(nil): %v", err)
+	}
+	if ctrl.Migrations() != 0 {
+		t.Fatal("nil plan counted as migration")
+	}
+}
+
+func TestControllerApplyReleasesVMsOnPlacementFailure(t *testing.T) {
+	f, ctrl, clus := controllerFixture(t, DCR{})
+	defer f.eng.Stop()
+	// 0-VM plan cannot place 3 instances.
+	err := ctrl.Apply(&Plan{VMType: cluster.D3, VMs: 0, Reason: "broken"})
+	if err == nil {
+		t.Fatal("Apply succeeded with zero VMs")
+	}
+	if got := len(clus.VMs()); got != 0 {
+		t.Fatalf("%d VMs leaked after failed placement", got)
+	}
+}
+
+func TestControllerRunLoop(t *testing.T) {
+	f, ctrl, _ := controllerFixture(t, CCR{})
+	f.eng.Start()
+	defer f.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return f.eng.Audit().SinkArrivals() >= 30
+	})
+	rate := func() float64 { return 100 } // util 0.2 -> consolidate once
+	fleet := func() (cluster.VMType, int) { return cluster.D2, 2 }
+	// One round: evaluates, applies the scale-in, and returns.
+	if err := ctrl.Run(50*time.Millisecond, 1, rate, fleet); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ctrl.Migrations() != 1 {
+		t.Fatalf("Migrations = %d after run loop", ctrl.Migrations())
+	}
+}

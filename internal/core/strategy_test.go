@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/statestore"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// fixture builds a 3-task linear dataflow on D2 VMs with a D3 migration
+// target and fast test timings.
+type fixture struct {
+	eng      *runtime.Engine
+	newSched *scheduler.Schedule
+}
+
+func newFixture(t *testing.T, s Strategy) *fixture {
+	t.Helper()
+	b := topology.NewBuilder("core-linear3")
+	b.AddSource("Src", 1)
+	prev := "Src"
+	for _, n := range []string{"T1", "T2", "T3"} {
+		b.AddTask(n, 1, true)
+		b.Connect(prev, n, topology.Shuffle)
+		prev = n
+	}
+	b.AddSink("Sink", 1)
+	b.Connect(prev, "Sink", topology.Shuffle)
+	topo := b.MustBuild()
+
+	cfg := runtime.Config{
+		Mode:            s.Mode(),
+		TaskLatency:     2 * time.Millisecond,
+		SourceRate:      100,
+		SourceBurstRate: 500,
+		AckTimeout:      300 * time.Millisecond,
+		AckBuckets:      3,
+		InitResend:      20 * time.Millisecond,
+		WaveTimeout:     2 * time.Second,
+		MaxInitWait:     10 * time.Second,
+		Network: cluster.NetworkModel{
+			SameSlot: 0, IntraVM: 100 * time.Microsecond, InterVM: 300 * time.Microsecond,
+		},
+		StoreLatency:     statestore.LatencyModel{RoundTrip: 200 * time.Microsecond, BytesPerSecond: 1e8},
+		RebalanceCmdTime: 30 * time.Millisecond,
+		WorkerBaseDelay:  20 * time.Millisecond,
+		WorkerStagger:    5 * time.Millisecond,
+		WorkerJitter:     5 * time.Millisecond,
+		Seed:             7,
+	}
+	if s.Mode() == runtime.ModeDSM {
+		cfg.CheckpointInterval = 150 * time.Millisecond
+	}
+
+	clock := timex.NewScaled(1)
+	clus := cluster.New()
+	pinnedVM := clus.ProvisionPinned(cluster.D3, clock.Now())
+	inner := topo.Instances(topology.RoleInner)
+	clus.Provision(cluster.D2, 2, clock.Now())
+	oldSched, err := (scheduler.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	target := clus.Provision(cluster.D3, 1, clock.Now())
+	var newSlots []cluster.SlotRef
+	for _, vm := range target {
+		newSlots = append(newSlots, vm.Slots()...)
+	}
+	newSched, err := (scheduler.RoundRobin{}).Place(inner, newSlots)
+	if err != nil {
+		t.Fatalf("place new: %v", err)
+	}
+
+	pinned := map[topology.Instance]cluster.SlotRef{
+		{Task: "Src", Index: 0}:  pinnedVM.Slots()[0],
+		{Task: "Sink", Index: 0}: pinnedVM.Slots()[1],
+	}
+	eng, err := runtime.New(runtime.Params{
+		Topology:        topo,
+		Factory:         workload.CountFactory,
+		Clock:           clock,
+		Config:          cfg,
+		InnerSchedule:   oldSched,
+		Pinned:          pinned,
+		CoordinatorSlot: pinnedVM.Slots()[2],
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return &fixture{eng: eng, newSched: newSched}
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// migrateAndSettle runs the strategy mid-stream and waits for the
+// dataflow to make post-migration progress.
+func migrateAndSettle(t *testing.T, s Strategy) *fixture {
+	t.Helper()
+	f := newFixture(t, s)
+	f.eng.Start()
+	waitUntil(t, 10*time.Second, "pre-migration flow", func() bool {
+		return f.eng.Audit().SinkArrivals() >= 30
+	})
+	if err := s.Migrate(f.eng, f.newSched); err != nil {
+		t.Fatalf("%s.Migrate: %v", s.Name(), err)
+	}
+	before := f.eng.Audit().SinkArrivals()
+	waitUntil(t, 15*time.Second, "post-migration flow", func() bool {
+		return f.eng.Audit().SinkArrivals() > before+30
+	})
+	return f
+}
+
+func TestDCRMigratesWithoutLossOrReplay(t *testing.T) {
+	f := migrateAndSettle(t, DCR{})
+	defer f.eng.Stop()
+	if lost := f.eng.Audit().Lost(f.eng.Clock().Now().Add(-time.Second)); len(lost) != 0 {
+		t.Fatalf("DCR lost %d payloads", len(lost))
+	}
+	if n := f.eng.Collector().ReplayedCount(); n != 0 {
+		t.Fatalf("DCR replayed %d events", n)
+	}
+	if d := f.eng.Audit().Duplicates(f.eng.Fanout()); d != 0 {
+		t.Fatalf("DCR duplicated %d payloads", d)
+	}
+	if v := f.eng.Audit().BoundaryViolations(); v != 0 {
+		t.Fatalf("DCR old/new boundary violated %d times", v)
+	}
+	m := f.eng.Collector().Compute(metrics.DefaultStabilization(f.eng.ExpectedSinkRate()), 0)
+	if m.DrainDuration <= 0 {
+		t.Fatalf("DCR drain duration = %v, want > 0", m.DrainDuration)
+	}
+	if m.RestoreDuration <= 0 {
+		t.Fatalf("DCR restore duration = %v, want > 0", m.RestoreDuration)
+	}
+}
+
+func TestCCRMigratesWithoutLossOrReplay(t *testing.T) {
+	f := migrateAndSettle(t, CCR{})
+	defer f.eng.Stop()
+	if lost := f.eng.Audit().Lost(f.eng.Clock().Now().Add(-time.Second)); len(lost) != 0 {
+		t.Fatalf("CCR lost %d payloads", len(lost))
+	}
+	if n := f.eng.Collector().ReplayedCount(); n != 0 {
+		t.Fatalf("CCR replayed %d events", n)
+	}
+	if d := f.eng.Audit().Duplicates(f.eng.Fanout()); d != 0 {
+		t.Fatalf("CCR duplicated %d payloads", d)
+	}
+}
+
+func TestCCRSeqInitVariant(t *testing.T) {
+	f := migrateAndSettle(t, CCRSeqInit{})
+	defer f.eng.Stop()
+	if lost := f.eng.Audit().Lost(f.eng.Clock().Now().Add(-time.Second)); len(lost) != 0 {
+		t.Fatalf("CCR-seqinit lost %d payloads", len(lost))
+	}
+}
+
+func TestDSMMigratesWithReplays(t *testing.T) {
+	f := migrateAndSettle(t, DSM{})
+	defer f.eng.Stop()
+	// DSM loses in-flight events to the kill and recovers them by replay.
+	waitUntil(t, 10*time.Second, "replays", func() bool {
+		return f.eng.Collector().ReplayedCount() > 0
+	})
+	waitUntil(t, 20*time.Second, "at-least-once recovery", func() bool {
+		return len(f.eng.Audit().Lost(f.eng.Clock().Now().Add(-2*time.Second))) == 0
+	})
+	m := f.eng.Collector().Compute(metrics.DefaultStabilization(f.eng.ExpectedSinkRate()), 0)
+	if m.DrainDuration != 0 {
+		t.Fatalf("DSM drain duration = %v, want 0 (no drain phase)", m.DrainDuration)
+	}
+}
+
+func TestDSMStateRollsBackToPeriodicCheckpoint(t *testing.T) {
+	f := migrateAndSettle(t, DSM{})
+	defer f.eng.Stop()
+	// After migration, T1's restored counter must not exceed what was
+	// processed (rollback to an earlier periodic snapshot is allowed and
+	// expected; state from the future is impossible).
+	ex := f.eng.Executor(topology.Instance{Task: "T1", Index: 0})
+	if ex == nil {
+		t.Fatal("T1 not respawned")
+	}
+	processed := ex.Logic().(*workload.CountLogic).Processed()
+	emitted := int64(f.eng.Audit().EmittedCount())
+	if processed > emitted+1 {
+		t.Fatalf("restored T1 processed %d > emitted %d", processed, emitted)
+	}
+}
+
+func TestStrategiesRegistry(t *testing.T) {
+	if len(All()) != 3 {
+		t.Fatalf("All() = %d strategies", len(All()))
+	}
+	for _, name := range []string{"DSM", "DCR", "CCR", "CCR-seqinit", "dsm", "dcr", "ccr"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+	if (DSM{}).Mode() != runtime.ModeDSM || (DCR{}).Mode() != runtime.ModeDCR || (CCR{}).Mode() != runtime.ModeCCR {
+		t.Error("strategy modes wrong")
+	}
+}
+
+func TestEnactmentBudgetOrdering(t *testing.T) {
+	cfg := runtime.DefaultConfig(runtime.ModeDCR)
+	ccr := EnactmentBudget(CCR{}, 9, cfg, 21)
+	dcr := EnactmentBudget(DCR{}, 9, cfg, 21)
+	dsm := EnactmentBudget(DSM{}, 9, runtime.DefaultConfig(runtime.ModeDSM), 21)
+	if !(ccr < dsm && dcr < dsm) {
+		t.Fatalf("budget ordering: ccr=%v dcr=%v dsm=%v", ccr, dcr, dsm)
+	}
+}

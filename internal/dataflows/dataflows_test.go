@@ -1,0 +1,139 @@
+package dataflows
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestTable1 pins the reconstruction to the paper's Table 1 exactly.
+func TestTable1(t *testing.T) {
+	tests := []struct {
+		spec         Spec
+		tasks        int
+		instances    int
+		def, in, out int
+	}{
+		{Linear(), 5, 5, 3, 2, 5},
+		{Diamond(), 5, 8, 4, 2, 8},
+		{Star(), 5, 8, 4, 2, 8},
+		{Grid(), 15, 21, 11, 6, 21},
+		{Traffic(), 11, 13, 7, 4, 13},
+	}
+	for _, tt := range tests {
+		name := tt.spec.Topology.Name()
+		if tt.spec.Tasks != tt.tasks {
+			t.Errorf("%s: tasks = %d, want %d", name, tt.spec.Tasks, tt.tasks)
+		}
+		if tt.spec.Instances != tt.instances {
+			t.Errorf("%s: instances = %d, want %d", name, tt.spec.Instances, tt.instances)
+		}
+		if tt.spec.DefaultVMs != tt.def || tt.spec.ScaleInVMs != tt.in || tt.spec.ScaleOutVMs != tt.out {
+			t.Errorf("%s: VMs = %d/%d/%d, want %d/%d/%d", name,
+				tt.spec.DefaultVMs, tt.spec.ScaleInVMs, tt.spec.ScaleOutVMs, tt.def, tt.in, tt.out)
+		}
+	}
+}
+
+// TestSinkRates checks the steady-state sink input rates implied by the
+// structures: Linear 8 ev/s, every other DAG 32 ev/s (Grid's 1:4
+// selectivity is called out explicitly in the paper's Fig. 7 discussion).
+func TestSinkRates(t *testing.T) {
+	want := map[string]float64{
+		"linear-5": 8,
+		"diamond":  32,
+		"star":     32,
+		"grid":     32,
+		"traffic":  32,
+	}
+	for _, spec := range All() {
+		rates := spec.Topology.InputRate(BaseRate)
+		name := spec.Topology.Name()
+		if got := rates[SinkName]; got != want[name] {
+			t.Errorf("%s: sink rate = %v, want %v", name, got, want[name])
+		}
+	}
+}
+
+// TestInstanceSizingRule checks the one-instance-per-8ev/s rule holds for
+// every task of every DAG (makeSpec panics otherwise, but keep an explicit
+// test for the rule).
+func TestInstanceSizingRule(t *testing.T) {
+	for _, spec := range All() {
+		rates := spec.Topology.InputRate(BaseRate)
+		for _, task := range spec.Topology.Inner() {
+			perInstance := rates[task.Name] / float64(task.Parallelism)
+			if perInstance > BaseRate {
+				t.Errorf("%s/%s: %v ev/s per instance exceeds %v",
+					spec.Topology.Name(), task.Name, perInstance, BaseRate)
+			}
+		}
+	}
+}
+
+func TestAllDAGsValid(t *testing.T) {
+	for _, spec := range All() {
+		if err := spec.Topology.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Topology.Name(), err)
+		}
+		if len(spec.Topology.Sources()) != 1 || len(spec.Topology.Sinks()) != 1 {
+			t.Errorf("%s: expected exactly one source and one sink", spec.Topology.Name())
+		}
+		// All inner tasks stateful, as the experiments checkpoint them.
+		for _, task := range spec.Topology.Inner() {
+			if !task.Stateful {
+				t.Errorf("%s/%s: not stateful", spec.Topology.Name(), task.Name)
+			}
+		}
+	}
+}
+
+func TestCriticalPaths(t *testing.T) {
+	// Drain time is proportional to critical path; pin the lengths so the
+	// M1 drain experiment's DAG ordering is stable.
+	want := map[string]int{
+		"linear-5": 6,
+		"diamond":  3,
+		"star":     4,
+		"grid":     9, // Src→A1..A4→J1→J2→K→L→Sink
+		"traffic":  8, // Src→A1..A5→J1→J2→Sink
+	}
+	for _, spec := range All() {
+		name := spec.Topology.Name()
+		if got := spec.Topology.CriticalPathLen(); got != want[name] {
+			t.Errorf("%s: critical path = %d, want %d", name, got, want[name])
+		}
+	}
+}
+
+func TestLinearN(t *testing.T) {
+	spec := LinearN(50)
+	if spec.Tasks != 50 || spec.Instances != 50 {
+		t.Fatalf("LinearN(50): %d tasks, %d instances", spec.Tasks, spec.Instances)
+	}
+	if got := spec.Topology.CriticalPathLen(); got != 51 {
+		t.Fatalf("LinearN(50) critical path = %d, want 51", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"linear", "diamond", "star", "grid", "traffic"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestBoundaryTasksPresent(t *testing.T) {
+	for _, spec := range All() {
+		if spec.Topology.Task(SourceName) == nil || spec.Topology.Task(SinkName) == nil {
+			t.Errorf("%s: missing boundary tasks", spec.Topology.Name())
+		}
+		if spec.Topology.Task(SourceName).Role != topology.RoleSource {
+			t.Errorf("%s: Src is not a source", spec.Topology.Name())
+		}
+	}
+}

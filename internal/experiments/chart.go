@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Chart renders a timeline as a fixed-height ASCII plot, the terminal
+// equivalent of the paper's Figs. 7 and 9. The x axis is paper time
+// relative to the migration request (t=0); the y axis is auto-scaled.
+//
+//	32.0 |        ***************
+//	     |       *
+//	     |......*
+//	 0.0 |______*________________
+//	      -60       0       +120
+func Chart(title string, samples []metrics.Sample, request time.Duration, width, height int) string {
+	if len(samples) == 0 {
+		return fmt.Sprintf("%s: (no samples)\n", title)
+	}
+	if width < 10 {
+		width = 60
+	}
+	if height < 3 {
+		height = 10
+	}
+
+	// Downsample to width columns by averaging.
+	cols := make([]float64, width)
+	span := len(samples)
+	for c := 0; c < width; c++ {
+		lo := c * span / width
+		hi := (c + 1) * span / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		n := 0
+		for i := lo; i < hi && i < span; i++ {
+			sum += samples[i].Value
+			n++
+		}
+		if n > 0 {
+			cols[c] = sum / float64(n)
+		}
+	}
+	maxV := 0.0
+	for _, v := range cols {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	// Column index of the migration request.
+	reqCol := -1
+	if span > 1 {
+		first := samples[0].Offset
+		last := samples[span-1].Offset
+		if request >= first && request <= last {
+			reqCol = int(float64(request-first) / float64(last-first) * float64(width-1))
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.1f)\n", title, maxV)
+	for row := height - 1; row >= 0; row-- {
+		lo := float64(row) / float64(height) * maxV
+		label := "      "
+		if row == height-1 {
+			label = fmt.Sprintf("%6.1f", maxV)
+		} else if row == 0 {
+			label = fmt.Sprintf("%6.1f", 0.0)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		for c := 0; c < width; c++ {
+			switch {
+			case cols[c] > lo && (cols[c] >= lo+maxV/float64(height) || row == 0 || cols[c] > lo):
+				b.WriteByte('*')
+			case c == reqCol:
+				b.WriteByte('!')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// X axis with the request marker.
+	b.WriteString("       +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	if reqCol >= 0 {
+		b.WriteString("        ")
+		b.WriteString(strings.Repeat(" ", reqCol))
+		b.WriteString("^ t=0 (migration request)\n")
+	}
+	first := samples[0].Offset - request
+	last := samples[span-1].Offset - request
+	fmt.Fprintf(&b, "        t in [%+.0fs, %+.0fs]\n", first.Seconds(), last.Seconds())
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func seriesFixture() []metrics.Sample {
+	out := make([]metrics.Sample, 120)
+	for i := range out {
+		v := 32.0
+		if i >= 60 && i < 90 {
+			v = 0 // outage
+		}
+		out[i] = metrics.Sample{Offset: time.Duration(i) * time.Second, Value: v}
+	}
+	return out
+}
+
+func TestChartRendersShape(t *testing.T) {
+	c := Chart("output rate", seriesFixture(), 60*time.Second, 60, 8)
+	if !strings.Contains(c, "output rate") {
+		t.Fatalf("missing title:\n%s", c)
+	}
+	if !strings.Contains(c, "32.0") {
+		t.Fatalf("missing max label:\n%s", c)
+	}
+	if !strings.Contains(c, "t=0 (migration request)") {
+		t.Fatalf("missing request marker:\n%s", c)
+	}
+	lines := strings.Split(c, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+	// The top row must contain stars (steady 32) and a hole (outage).
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("no plot content in top row: %q", top)
+	}
+	if !strings.Contains(top, "  ") {
+		t.Fatalf("no outage gap visible in top row: %q", top)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	if c := Chart("x", nil, 0, 60, 8); !strings.Contains(c, "no samples") {
+		t.Fatalf("empty chart: %q", c)
+	}
+}
+
+func TestChartDefaultsDimensions(t *testing.T) {
+	c := Chart("x", seriesFixture(), 60*time.Second, 0, 0)
+	if len(c) == 0 {
+		t.Fatal("empty chart with default dimensions")
+	}
+}
+
+func TestWriteResultsCSV(t *testing.T) {
+	r := &Result{
+		DAG: "grid", Strategy: "CCR", Direction: ScaleIn,
+		Metrics: metrics.Metrics{
+			RestoreDuration:   24 * time.Second,
+			StabilizationTime: 234 * time.Second,
+			ReplayedCount:     0,
+			EmittedRoots:      4800,
+		},
+		VMsBefore: 11, VMsAfter: 6,
+		RateBefore: 0.0352, RateAfter: 0.0384,
+	}
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, []*Result{r}); err != nil {
+		t.Fatalf("WriteResultsCSV: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dag,strategy,direction", "grid,CCR,scale-in", "24.000", "234.000", "0.0352"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	var buf bytes.Buffer
+	samples := []metrics.Sample{
+		{Offset: 0, Value: 32},
+		{Offset: 60 * time.Second, Value: 0},
+	}
+	if err := WriteTimelineCSV(&buf, samples, 30*time.Second); err != nil {
+		t.Fatalf("WriteTimelineCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-30,32.00") || !strings.Contains(out, "30,0.00") {
+		t.Fatalf("timeline csv:\n%s", out)
+	}
+}

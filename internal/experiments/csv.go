@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// WriteResultsCSV writes one row per scenario result with the §4 metrics
+// and reliability accounting — the machine-readable companion of Fig. 5,
+// 6 and 8, ready for external plotting.
+func WriteResultsCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"dag", "strategy", "direction",
+		"restore_s", "drain_s", "rebalance_s", "catchup_s", "recovery_s",
+		"stabilization_s", "stable_latency_ms",
+		"replayed", "lost", "duplicated", "boundary_violations", "staleness",
+		"emitted_roots", "sink_events",
+		"vms_before", "vms_after", "rate_before", "rate_after",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, r := range results {
+		m := r.Metrics
+		row := []string{
+			r.DAG, r.Strategy, r.Direction.String(),
+			secs(m.RestoreDuration), secs(m.DrainDuration), secs(m.RebalanceDuration),
+			secs(m.CatchupTime), secs(m.RecoveryTime),
+			secs(m.StabilizationTime),
+			strconv.FormatInt(m.StableLatency.Milliseconds(), 10),
+			strconv.Itoa(m.ReplayedCount), strconv.Itoa(r.LostCount),
+			strconv.Itoa(r.DuplicateCount), strconv.Itoa(r.BoundaryViolations),
+			strconv.FormatInt(r.Staleness, 10),
+			strconv.Itoa(m.EmittedRoots), strconv.Itoa(m.SinkEvents),
+			strconv.Itoa(r.VMsBefore), strconv.Itoa(r.VMsAfter),
+			strconv.FormatFloat(r.RateBefore, 'f', 4, 64),
+			strconv.FormatFloat(r.RateAfter, 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV writes a timeline (Fig. 7/9 series) as
+// offset-relative-to-request, value pairs.
+func WriteTimelineCSV(w io.Writer, samples []metrics.Sample, request time.Duration) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "value"}); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, s := range samples {
+		rel := s.Offset - request
+		if err := cw.Write([]string{
+			strconv.FormatFloat(rel.Seconds(), 'f', 0, 64),
+			strconv.FormatFloat(s.Value, 'f', 2, 64),
+		}); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func secs(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
+}
+
+// MatrixResults runs (or fetches) the full evaluation matrix and returns
+// the results in presentation order, for CSV export.
+func (s *Suite) MatrixResults() ([]*Result, error) {
+	var out []*Result
+	for _, dir := range []Direction{ScaleIn, ScaleOut} {
+		for _, spec := range DAGOrder() {
+			for _, strat := range core.All() {
+				r, err := s.Get(spec, strat, dir)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Table renders a fixed-width ASCII table.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Secs formats a duration as whole seconds ("-" for n/a zero values,
+// "never" for negative stabilization).
+func Secs(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "never"
+	case d == 0:
+		return "-"
+	default:
+		return fmt.Sprintf("%.0f", d.Seconds())
+	}
+}
+
+// Series renders a timeline downsampled to the given step (values
+// averaged per step), with offsets relative to a request instant so the
+// migration request reads as t=0, as in Figs. 7 and 9.
+func Series(name string, samples []metrics.Sample, request, step time.Duration) string {
+	if len(samples) == 0 {
+		return fmt.Sprintf("%s: (no samples)\n", name)
+	}
+	n := int(step / metrics.BinSize)
+	if n < 1 {
+		n = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (t=0 at migration request, step %s):\n", name, step)
+	for i := 0; i < len(samples); i += n {
+		sum := 0.0
+		count := 0
+		for j := i; j < i+n && j < len(samples); j++ {
+			sum += samples[j].Value
+			count++
+		}
+		rel := samples[i].Offset - request
+		fmt.Fprintf(&b, "  t=%+6.0fs  %8.1f\n", rel.Seconds(), sum/float64(count))
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDigestQuantiles(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	d := Digest(ds)
+	if d.Count != 100 {
+		t.Fatalf("Count = %d", d.Count)
+	}
+	if d.P50 != 50*time.Millisecond {
+		t.Fatalf("P50 = %v", d.P50)
+	}
+	if d.P95 != 95*time.Millisecond || d.P99 != 99*time.Millisecond {
+		t.Fatalf("P95/P99 = %v/%v", d.P95, d.P99)
+	}
+	if d.Max != 100*time.Millisecond {
+		t.Fatalf("Max = %v", d.Max)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	if d := Digest(nil); d.Count != 0 || d.Max != 0 {
+		t.Fatalf("Digest(nil) = %+v", d)
+	}
+}
+
+func TestDigestDoesNotMutateInput(t *testing.T) {
+	ds := []time.Duration{3, 1, 2}
+	Digest(ds)
+	if ds[0] != 3 {
+		t.Fatal("Digest sorted the caller's slice")
+	}
+}
+
+// Property: quantiles are monotone (P50 <= P95 <= P99 <= Max) and bounded
+// by the sample extremes, for any input.
+func TestDigestMonotoneProperty(t *testing.T) {
+	f := func(ms []uint16) bool {
+		if len(ms) == 0 {
+			return true
+		}
+		ds := make([]time.Duration, len(ms))
+		var max time.Duration
+		for i, m := range ms {
+			ds[i] = time.Duration(m) * time.Microsecond
+			if ds[i] > max {
+				max = ds[i]
+			}
+		}
+		d := Digest(ds)
+		return d.P50 <= d.P95 && d.P95 <= d.P99 && d.P99 <= d.Max && d.Max == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseLatencies(t *testing.T) {
+	f := newFixture()
+	f.at(0, func() { f.sinkEvent(100*time.Millisecond, false, false) })
+	f.at(time.Second, func() { f.sinkEvent(200*time.Millisecond, false, false) })
+	f.at(2*time.Second, f.c.MarkMigrationRequested)
+	f.at(3*time.Second, func() { f.sinkEvent(900*time.Millisecond, false, false) })
+	pre, post := f.c.PhaseLatencies()
+	if pre.Count != 2 || post.Count != 1 {
+		t.Fatalf("phase counts = %d/%d", pre.Count, post.Count)
+	}
+	if post.P50 != 900*time.Millisecond {
+		t.Fatalf("post P50 = %v", post.P50)
+	}
+}

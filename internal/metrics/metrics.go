@@ -1,0 +1,459 @@
+// Package metrics implements the seven performance metrics of §4 of the
+// paper, plus the throughput and latency timelines of Figs. 7 and 9.
+//
+// A Collector is wired into the runtime: sources report emissions (and
+// replays), sinks report arrivals, and the migration engine marks phase
+// boundaries. All timestamps are paper time. After a run, Compute derives:
+//
+//  1. Restore Duration — migration request → first sink output.
+//  2. Drain/Capture Duration — request → rebalance start (DCR/CCR only).
+//  3. Rebalance Duration — the rebalance command's runtime.
+//  4. Catchup Time — request → last pre-migration event at the sink.
+//  5. Recovery Time — request → last replayed event at the sink.
+//  6. Rate Stabilization Time — request → start of the first 60 s window
+//     whose output rate stays within ±20% of the expected stable rate.
+//  7. Message Loss/Recovery Count — events replayed due to the migration.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// BinSize is the timeline bucketing granularity.
+const BinSize = time.Second
+
+// Sample is one timeline point.
+type Sample struct {
+	// Offset is the bin start relative to the run start.
+	Offset time.Duration
+	// Value is the binned measurement (rate in ev/s, or latency).
+	Value float64
+}
+
+// Metrics holds the derived §4 measurements for one migration run.
+// Durations are zero when not applicable (e.g. Catchup for DCR).
+type Metrics struct {
+	// RestoreDuration is request → first sink output after the request.
+	RestoreDuration time.Duration
+	// DrainDuration is request → rebalance start (0 for DSM).
+	DrainDuration time.Duration
+	// RebalanceDuration is the runtime of the rebalance command.
+	RebalanceDuration time.Duration
+	// CatchupTime is request → last pre-migration event at the sink.
+	CatchupTime time.Duration
+	// RecoveryTime is request → last replayed event at the sink.
+	RecoveryTime time.Duration
+	// StabilizationTime is request → start of the stable output window.
+	// Negative when the run never stabilized within the horizon.
+	StabilizationTime time.Duration
+	// ReplayedCount is the number of source replays caused by the
+	// migration (ack timeouts); zero for DCR/CCR.
+	ReplayedCount int
+	// EmittedRoots counts distinct root events emitted (excluding replays).
+	EmittedRoots int
+	// SinkEvents counts events received at sinks.
+	SinkEvents int
+	// LostRoots counts roots that never completed nor were replayed (must
+	// be zero: reliability invariant).
+	LostRoots int
+	// StableLatency is the median sink latency during the pre-migration
+	// steady state.
+	StableLatency time.Duration
+}
+
+// Collector accumulates run telemetry. Safe for concurrent use.
+type Collector struct {
+	clock timex.Clock
+
+	mu        sync.Mutex
+	start     time.Time
+	requested time.Time // migration request instant
+	hasReq    bool
+
+	rebalanceStart, rebalanceEnd time.Time
+	drainEnd                     time.Time
+
+	emitted  int
+	replayed int
+
+	inBins  map[int]int // source emissions per second-bin
+	outBins map[int]int // sink arrivals per second-bin
+
+	latSum   map[int]time.Duration // sum of sink latencies per bin
+	latCount map[int]int
+
+	firstSinkAfterReq time.Time
+	lastPreMigration  time.Time
+	lastReplayed      time.Time
+	sinkCount         int
+
+	preLatencies  []time.Duration // latencies sampled before the request
+	postLatencies []time.Duration // latencies sampled after the request
+}
+
+// NewCollector starts a collector; the run origin is the clock's now.
+func NewCollector(clock timex.Clock) *Collector {
+	return &Collector{
+		clock:    clock,
+		start:    clock.Now(),
+		inBins:   make(map[int]int),
+		outBins:  make(map[int]int),
+		latSum:   make(map[int]time.Duration),
+		latCount: make(map[int]int),
+	}
+}
+
+// Start returns the run origin.
+func (c *Collector) Start() time.Time { return c.start }
+
+func (c *Collector) bin(t time.Time) int {
+	return int(t.Sub(c.start) / BinSize)
+}
+
+// MarkMigrationRequested records the user's migration request instant.
+func (c *Collector) MarkMigrationRequested() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requested = c.clock.Now()
+	c.hasReq = true
+}
+
+// MigrationRequested returns the request instant (zero if not yet marked).
+func (c *Collector) MigrationRequested() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requested, c.hasReq
+}
+
+// MarkDrainEnd records the end of the drain/capture phase (rebalance is
+// about to be invoked).
+func (c *Collector) MarkDrainEnd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drainEnd = c.clock.Now()
+}
+
+// MarkRebalanceStart records the rebalance command invocation.
+func (c *Collector) MarkRebalanceStart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebalanceStart = c.clock.Now()
+}
+
+// MarkRebalanceEnd records the rebalance command completion.
+func (c *Collector) MarkRebalanceEnd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebalanceEnd = c.clock.Now()
+}
+
+// SourceEmit records one source emission; replayed marks re-emissions
+// triggered by ack timeouts.
+func (c *Collector) SourceEmit(replayed bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inBins[c.bin(now)]++
+	if replayed {
+		c.replayed++
+	} else {
+		c.emitted++
+	}
+}
+
+// SinkReceive records the arrival of ev at a sink.
+func (c *Collector) SinkReceive(ev *tuple.Event) {
+	now := c.clock.Now()
+	latency := now.Sub(ev.RootEmit)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.bin(now)
+	c.outBins[b]++
+	c.latSum[b] += latency
+	c.latCount[b]++
+	c.sinkCount++
+
+	if !c.hasReq {
+		c.preLatencies = append(c.preLatencies, latency)
+		return
+	}
+	c.postLatencies = append(c.postLatencies, latency)
+	if now.After(c.requested) {
+		if c.firstSinkAfterReq.IsZero() {
+			c.firstSinkAfterReq = now
+		}
+		if ev.PreMigration && now.After(c.lastPreMigration) {
+			c.lastPreMigration = now
+		}
+		if ev.Replayed && now.After(c.lastReplayed) {
+			c.lastReplayed = now
+		}
+	}
+}
+
+// ReplayedCount returns the replay count so far.
+func (c *Collector) ReplayedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replayed
+}
+
+// InputTimeline returns the source emission rate per second-bin from the
+// run start through the last nonempty bin.
+func (c *Collector) InputTimeline() []Sample {
+	return c.timeline(func() map[int]int { return c.inBins })
+}
+
+// OutputTimeline returns the sink arrival rate per second-bin.
+func (c *Collector) OutputTimeline() []Sample {
+	return c.timeline(func() map[int]int { return c.outBins })
+}
+
+func (c *Collector) timeline(pick func() map[int]int) []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bins := pick()
+	maxBin := 0
+	for b := range bins {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	out := make([]Sample, maxBin+1)
+	for i := 0; i <= maxBin; i++ {
+		out[i] = Sample{Offset: time.Duration(i) * BinSize, Value: float64(bins[i])}
+	}
+	return out
+}
+
+// LatencyTimeline returns the average sink latency (in milliseconds) over
+// a moving window of the given width, one point per bin, as in Fig. 9.
+func (c *Collector) LatencyTimeline(window time.Duration) []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	maxBin := 0
+	for b := range c.latCount {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	w := int(window / BinSize)
+	if w < 1 {
+		w = 1
+	}
+	out := make([]Sample, 0, maxBin+1)
+	for i := 0; i <= maxBin; i++ {
+		var sum time.Duration
+		var n int
+		for j := i - w + 1; j <= i; j++ {
+			if j < 0 {
+				continue
+			}
+			sum += c.latSum[j]
+			n += c.latCount[j]
+		}
+		v := 0.0
+		if n > 0 {
+			v = float64(sum.Milliseconds()) / float64(n)
+		}
+		out = append(out, Sample{Offset: time.Duration(i) * BinSize, Value: v})
+	}
+	return out
+}
+
+// StabilizationSpec configures the §4 stabilization detector.
+type StabilizationSpec struct {
+	// ExpectedRate is the stable output rate in ev/s.
+	ExpectedRate float64
+	// Band is the tolerated relative deviation (the paper uses 0.20).
+	Band float64
+	// Window is the duration the rate must stay in band (60 s).
+	Window time.Duration
+}
+
+// DefaultStabilization returns the paper's detector for a given expected
+// output rate: within 20% for 60 seconds.
+func DefaultStabilization(expectedRate float64) StabilizationSpec {
+	return StabilizationSpec{ExpectedRate: expectedRate, Band: 0.20, Window: time.Minute}
+}
+
+// Compute derives the final metrics. lostRoots is supplied by the source
+// (roots neither completed nor replayed at shutdown; zero when acking is
+// disabled because nothing can be lost silently in DCR/CCR).
+func (c *Collector) Compute(spec StabilizationSpec, lostRoots int) Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	m := Metrics{
+		ReplayedCount: c.replayed,
+		EmittedRoots:  c.emitted,
+		SinkEvents:    c.sinkCount,
+		LostRoots:     lostRoots,
+		StableLatency: median(c.preLatencies),
+	}
+	if !c.hasReq {
+		return m
+	}
+	m.RestoreDuration = c.restoreLocked()
+	if !c.drainEnd.IsZero() {
+		m.DrainDuration = c.drainEnd.Sub(c.requested)
+	}
+	if !c.rebalanceStart.IsZero() && !c.rebalanceEnd.IsZero() {
+		m.RebalanceDuration = c.rebalanceEnd.Sub(c.rebalanceStart)
+	}
+	if !c.lastPreMigration.IsZero() {
+		m.CatchupTime = c.lastPreMigration.Sub(c.requested)
+	}
+	if !c.lastReplayed.IsZero() {
+		m.RecoveryTime = c.lastReplayed.Sub(c.requested)
+	}
+	m.StabilizationTime = c.stabilizationLocked(spec)
+	return m
+}
+
+// restoreLocked derives the restore duration per the paper's §4
+// definition: "During this period, there will be no output events that
+// come out of the dataflow (output throughput is 0)." The migration's
+// disruption manifests as the first empty output bin at/after the
+// request (in-flight stragglers may still trickle into the sink for a
+// moment after the kill or during the drain); restore ends at the first
+// non-empty bin after that outage. When no outage is visible at bin
+// granularity, the first sink arrival after the request is used.
+func (c *Collector) restoreLocked() time.Duration {
+	reqBin := c.bin(c.requested)
+	maxBin := 0
+	for b := range c.outBins {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	outageBin := -1
+	for b := reqBin; b <= maxBin; b++ {
+		if c.outBins[b] == 0 {
+			outageBin = b
+			break
+		}
+	}
+	if outageBin < 0 {
+		if c.firstSinkAfterReq.IsZero() {
+			return 0
+		}
+		return c.firstSinkAfterReq.Sub(c.requested)
+	}
+	for b := outageBin + 1; b <= maxBin; b++ {
+		if c.outBins[b] > 0 {
+			return time.Duration(b)*BinSize - c.requested.Sub(c.start)
+		}
+	}
+	return 0 // never restored within the horizon
+}
+
+// stabilizationLocked finds the first bin at/after the migration request
+// from which the output rate stays within the band for the full window.
+// Returns -1 when never stabilized.
+func (c *Collector) stabilizationLocked(spec StabilizationSpec) time.Duration {
+	if spec.ExpectedRate <= 0 {
+		return -1
+	}
+	reqBin := c.bin(c.requested)
+	maxBin := 0
+	for b := range c.outBins {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	w := int(spec.Window / BinSize)
+	lo := spec.ExpectedRate * (1 - spec.Band)
+	hi := spec.ExpectedRate * (1 + spec.Band)
+	// The final bin may be partially filled; exclude it from judgments.
+	lastFull := maxBin - 1
+	for start := reqBin; start+w-1 <= lastFull; start++ {
+		ok := true
+		for b := start; b < start+w; b++ {
+			r := float64(c.outBins[b])
+			if r < lo || r > hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return time.Duration(start)*BinSize - c.requested.Sub(c.start)
+		}
+	}
+	return -1
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	cp := make([]time.Duration, len(ds))
+	copy(cp, ds)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[len(cp)/2]
+}
+
+// LatencyDigest summarizes a latency distribution.
+type LatencyDigest struct {
+	// Count is the number of samples.
+	Count int
+	// P50, P95, P99 and Max are distribution quantiles.
+	P50, P95, P99, Max time.Duration
+}
+
+// Digest computes quantiles over a latency sample set.
+func Digest(ds []time.Duration) LatencyDigest {
+	if len(ds) == 0 {
+		return LatencyDigest{}
+	}
+	cp := make([]time.Duration, len(ds))
+	copy(cp, ds)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	q := func(p float64) time.Duration {
+		idx := int(p * float64(len(cp)-1))
+		return cp[idx]
+	}
+	return LatencyDigest{
+		Count: len(cp),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Max:   cp[len(cp)-1],
+	}
+}
+
+// PhaseLatencies splits sink latencies into pre-request and post-request
+// phases and digests each — the quantile view of Fig. 9's before/after
+// comparison.
+func (c *Collector) PhaseLatencies() (pre, post LatencyDigest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Digest(c.preLatencies), Digest(c.postLatencies)
+}
+
+// String implements fmt.Stringer.
+func (d LatencyDigest) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		d.Count,
+		d.P50.Round(time.Millisecond), d.P95.Round(time.Millisecond),
+		d.P99.Round(time.Millisecond), d.Max.Round(time.Millisecond))
+}
+
+// String renders the metrics compactly for logs and example output.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"restore=%v drain=%v rebalance=%v catchup=%v recovery=%v stabilization=%v replayed=%d lost=%d",
+		m.RestoreDuration.Round(time.Millisecond),
+		m.DrainDuration.Round(time.Millisecond),
+		m.RebalanceDuration.Round(time.Millisecond),
+		m.CatchupTime.Round(time.Millisecond),
+		m.RecoveryTime.Round(time.Millisecond),
+		m.StabilizationTime.Round(time.Millisecond),
+		m.ReplayedCount, m.LostRoots)
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// fixture drives a collector through a scripted run on a manual clock.
+type fixture struct {
+	clock *timex.ManualClock
+	c     *Collector
+}
+
+func newFixture() *fixture {
+	clock := timex.NewManual()
+	return &fixture{clock: clock, c: NewCollector(clock)}
+}
+
+func (f *fixture) at(offset time.Duration, fn func()) {
+	now := f.clock.Since(f.c.Start())
+	if offset < now {
+		panic("fixture offsets must be non-decreasing")
+	}
+	f.clock.Advance(offset - now)
+	fn()
+}
+
+func (f *fixture) sinkEvent(latency time.Duration, pre, replayed bool) {
+	now := f.clock.Now()
+	f.c.SinkReceive(&tuple.Event{
+		ID: 1, Root: 1, Kind: tuple.Data,
+		RootEmit: now.Add(-latency), PreMigration: pre, Replayed: replayed,
+	})
+}
+
+func TestRestoreCatchupRecovery(t *testing.T) {
+	f := newFixture()
+	// Steady state: one output per second for 10s.
+	for i := 0; i < 10; i++ {
+		f.at(time.Duration(i)*time.Second, func() { f.sinkEvent(700*time.Millisecond, false, false) })
+	}
+	f.at(10*time.Second, f.c.MarkMigrationRequested)
+	// Silence until 25s, then outputs resume.
+	f.at(25*time.Second, func() { f.sinkEvent(5*time.Second, true, false) })  // first output = restore
+	f.at(40*time.Second, func() { f.sinkEvent(20*time.Second, true, false) }) // last old event = catchup
+	f.at(55*time.Second, func() { f.sinkEvent(30*time.Second, false, true) }) // last replayed = recovery
+	f.at(60*time.Second, func() { f.sinkEvent(700*time.Millisecond, false, false) })
+
+	m := f.c.Compute(StabilizationSpec{ExpectedRate: 1, Band: 0.2, Window: 10 * time.Second}, 0)
+	if m.RestoreDuration != 15*time.Second {
+		t.Errorf("restore = %v, want 15s", m.RestoreDuration)
+	}
+	if m.CatchupTime != 30*time.Second {
+		t.Errorf("catchup = %v, want 30s", m.CatchupTime)
+	}
+	if m.RecoveryTime != 45*time.Second {
+		t.Errorf("recovery = %v, want 45s", m.RecoveryTime)
+	}
+	if m.StableLatency != 700*time.Millisecond {
+		t.Errorf("stable latency = %v, want 700ms", m.StableLatency)
+	}
+}
+
+func TestDrainAndRebalanceDurations(t *testing.T) {
+	f := newFixture()
+	f.at(5*time.Second, f.c.MarkMigrationRequested)
+	f.at(7*time.Second, f.c.MarkDrainEnd)
+	f.at(7*time.Second, f.c.MarkRebalanceStart)
+	f.at(14*time.Second, f.c.MarkRebalanceEnd)
+	m := f.c.Compute(DefaultStabilization(1), 0)
+	if m.DrainDuration != 2*time.Second {
+		t.Errorf("drain = %v, want 2s", m.DrainDuration)
+	}
+	if m.RebalanceDuration != 7*time.Second {
+		t.Errorf("rebalance = %v, want 7s", m.RebalanceDuration)
+	}
+}
+
+func TestStabilizationDetector(t *testing.T) {
+	f := newFixture()
+	f.at(0, f.c.MarkMigrationRequested)
+	// 0-19s: erratic rate (0 or 5 per sec) — out of the ±20% band of 2.
+	for i := 0; i < 20; i++ {
+		i := i
+		f.at(time.Duration(i)*time.Second, func() {
+			if i%2 == 0 {
+				for k := 0; k < 5; k++ {
+					f.sinkEvent(time.Second, false, false)
+				}
+			}
+		})
+	}
+	// 20-60s: steady 2/s.
+	for i := 20; i <= 60; i++ {
+		f.at(time.Duration(i)*time.Second, func() {
+			f.sinkEvent(time.Second, false, false)
+			f.sinkEvent(time.Second, false, false)
+		})
+	}
+	spec := StabilizationSpec{ExpectedRate: 2, Band: 0.2, Window: 30 * time.Second}
+	m := f.c.Compute(spec, 0)
+	if m.StabilizationTime != 20*time.Second {
+		t.Errorf("stabilization = %v, want 20s", m.StabilizationTime)
+	}
+}
+
+func TestStabilizationNeverReached(t *testing.T) {
+	f := newFixture()
+	f.at(0, f.c.MarkMigrationRequested)
+	for i := 0; i < 30; i++ {
+		f.at(time.Duration(i)*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+	}
+	spec := StabilizationSpec{ExpectedRate: 50, Band: 0.2, Window: 10 * time.Second}
+	if m := f.c.Compute(spec, 0); m.StabilizationTime >= 0 {
+		t.Errorf("stabilization = %v, want negative (never)", m.StabilizationTime)
+	}
+}
+
+func TestTimelines(t *testing.T) {
+	f := newFixture()
+	f.at(0, func() { f.c.SourceEmit(false) })
+	f.at(0, func() { f.c.SourceEmit(false) })
+	f.at(2*time.Second, func() { f.c.SourceEmit(true) })
+	f.at(3*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+
+	in := f.c.InputTimeline()
+	if len(in) != 3 || in[0].Value != 2 || in[2].Value != 1 {
+		t.Errorf("input timeline = %v", in)
+	}
+	out := f.c.OutputTimeline()
+	if len(out) != 4 || out[3].Value != 1 {
+		t.Errorf("output timeline = %v", out)
+	}
+	if f.c.ReplayedCount() != 1 {
+		t.Errorf("replayed = %d, want 1", f.c.ReplayedCount())
+	}
+	m := f.c.Compute(DefaultStabilization(1), 0)
+	if m.EmittedRoots != 2 || m.ReplayedCount != 1 || m.SinkEvents != 1 {
+		t.Errorf("counts = %+v", m)
+	}
+}
+
+func TestLatencyTimelineMovingWindow(t *testing.T) {
+	f := newFixture()
+	f.at(0, func() { f.sinkEvent(100*time.Millisecond, false, false) })
+	f.at(time.Second, func() { f.sinkEvent(300*time.Millisecond, false, false) })
+	lat := f.c.LatencyTimeline(2 * time.Second)
+	if len(lat) != 2 {
+		t.Fatalf("latency timeline = %v", lat)
+	}
+	if lat[0].Value != 100 {
+		t.Errorf("bin0 latency = %v, want 100ms", lat[0].Value)
+	}
+	// Window of 2s at bin1 averages both samples: (100+300)/2 = 200.
+	if lat[1].Value != 200 {
+		t.Errorf("bin1 latency = %v, want 200ms", lat[1].Value)
+	}
+}
+
+func TestNoMigrationRequestedYieldsCountsOnly(t *testing.T) {
+	f := newFixture()
+	f.at(0, func() { f.sinkEvent(time.Second, false, false) })
+	m := f.c.Compute(DefaultStabilization(1), 3)
+	if m.RestoreDuration != 0 || m.CatchupTime != 0 {
+		t.Errorf("durations set without request: %+v", m)
+	}
+	if m.LostRoots != 3 {
+		t.Errorf("lost roots = %d, want 3", m.LostRoots)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{RestoreDuration: 15 * time.Second, ReplayedCount: 7}
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %v", got)
+	}
+	ds := []time.Duration{3, 1, 2}
+	if got := median(ds); got != 2 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	// Input must not be mutated.
+	if ds[0] != 3 {
+		t.Error("median mutated input")
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRestoreIgnoresStragglers covers the gap-based §4 definition: a few
+// in-flight events reach the sink right after the request (before the
+// dataflow goes dark); restore must measure to the end of the outage, not
+// to those stragglers.
+func TestRestoreIgnoresStragglers(t *testing.T) {
+	f := newFixture()
+	for i := 0; i < 10; i++ {
+		f.at(time.Duration(i)*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+	}
+	f.at(10*time.Second, f.c.MarkMigrationRequested)
+	// Stragglers in the same second as the request.
+	f.at(10*time.Second+200*time.Millisecond, func() { f.sinkEvent(time.Second, true, false) })
+	f.at(10*time.Second+600*time.Millisecond, func() { f.sinkEvent(time.Second, true, false) })
+	// Dark until t=45, then output resumes.
+	f.at(45*time.Second, func() { f.sinkEvent(5*time.Second, true, false) })
+	f.at(46*time.Second, func() { f.sinkEvent(5*time.Second, false, false) })
+
+	m := f.c.Compute(DefaultStabilization(1), 0)
+	if m.RestoreDuration != 35*time.Second {
+		t.Fatalf("restore = %v, want 35s (gap-based)", m.RestoreDuration)
+	}
+}
+
+// TestRestoreWithoutVisibleOutage falls back to the first arrival after
+// the request when output never pauses at bin granularity.
+func TestRestoreWithoutVisibleOutage(t *testing.T) {
+	f := newFixture()
+	for i := 0; i <= 10; i++ {
+		f.at(time.Duration(i)*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+	}
+	f.at(10*time.Second+500*time.Millisecond, f.c.MarkMigrationRequested)
+	// Output continues every second with no empty bin.
+	for i := 11; i < 35; i++ {
+		f.at(time.Duration(i)*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+	}
+	m := f.c.Compute(DefaultStabilization(1), 0)
+	if m.RestoreDuration <= 0 || m.RestoreDuration > time.Second {
+		t.Fatalf("restore = %v, want first post-request arrival (~0.5s)", m.RestoreDuration)
+	}
+}
+
+// TestRestoreNeverWithinHorizon reports zero when the dataflow never
+// produces output again.
+func TestRestoreNeverWithinHorizon(t *testing.T) {
+	f := newFixture()
+	f.at(0, func() { f.sinkEvent(time.Second, false, false) })
+	f.at(time.Second, f.c.MarkMigrationRequested)
+	f.at(30*time.Second, func() {}) // silence to the horizon
+	m := f.c.Compute(DefaultStabilization(1), 0)
+	if m.RestoreDuration != 0 {
+		t.Fatalf("restore = %v for a dataflow that never restored", m.RestoreDuration)
+	}
+}
+
+// TestRestoreOutageStartsAtRequestBin handles DCR/CCR where the outage
+// begins immediately (sources paused, drain fast).
+func TestRestoreOutageStartsAtRequestBin(t *testing.T) {
+	f := newFixture()
+	f.at(0, func() { f.sinkEvent(time.Second, false, false) })
+	f.at(5*time.Second, f.c.MarkMigrationRequested)
+	// Bin 5 empty; resume at t=40.
+	f.at(40*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+	f.at(41*time.Second, func() { f.sinkEvent(time.Second, false, false) })
+	m := f.c.Compute(DefaultStabilization(1), 0)
+	if m.RestoreDuration != 35*time.Second {
+		t.Fatalf("restore = %v, want 35s", m.RestoreDuration)
+	}
+}

@@ -1,0 +1,124 @@
+// Package queue provides the single-consumer blocking FIFO used as the
+// input queue of every task executor.
+//
+// Storm's executor input queue is single-threaded: exactly one goroutine
+// pops and processes events, while any number of upstream links push. The
+// migration strategies lean on two extra operations that ordinary Go
+// channels cannot express:
+//
+//   - Snapshot/DrainRemaining: CCR captures the events still queued behind
+//     a broadcast PREPARE marker.
+//   - Len inspection for drain diagnostics and metrics.
+package queue
+
+import (
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Queue is an unbounded multi-producer single-consumer FIFO of events.
+// The zero value is not usable; construct with New.
+type Queue struct {
+	mu               sync.Mutex
+	nonEmptyOrClosed *sync.Cond
+	items            []*tuple.Event
+	closed           bool
+}
+
+// New returns an empty open queue.
+func New() *Queue {
+	q := &Queue{}
+	q.nonEmptyOrClosed = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends e to the tail. It reports false if the queue is closed (the
+// event is dropped), which models delivery to a killed executor.
+func (q *Queue) Push(e *tuple.Event) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, e)
+	q.nonEmptyOrClosed.Signal()
+	return true
+}
+
+// Pop blocks until an event is available or the queue is closed. It
+// reports ok=false only when the queue is closed and empty.
+func (q *Queue) Pop() (e *tuple.Event, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmptyOrClosed.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	e = q.items[0]
+	q.items[0] = nil // allow GC of the popped slot
+	q.items = q.items[1:]
+	return e, true
+}
+
+// TryPop removes and returns the head without blocking.
+func (q *Queue) TryPop() (e *tuple.Event, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	e = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return e, true
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Snapshot returns a copy of the queued events in FIFO order without
+// removing them.
+func (q *Queue) Snapshot() []*tuple.Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*tuple.Event, len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+// DrainRemaining removes and returns all queued events in FIFO order.
+// Used by CCR to capture the events queued behind a PREPARE marker, and by
+// DSM's kill to count lost in-flight events.
+func (q *Queue) DrainRemaining() []*tuple.Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}
+
+// Close marks the queue closed. Pending Pop calls drain remaining items
+// and then return ok=false; subsequent Push calls are rejected.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.nonEmptyOrClosed.Broadcast()
+}

@@ -1,0 +1,246 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+func ev(id tuple.ID) *tuple.Event {
+	return &tuple.Event{ID: id, Root: id, Kind: tuple.Data}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New()
+	for i := 1; i <= 100; i++ {
+		if !q.Push(ev(tuple.ID(i))) {
+			t.Fatal("Push rejected on open queue")
+		}
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 1; i <= 100; i++ {
+		e, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop reported closed on non-empty queue")
+		}
+		if e.ID != tuple.ID(i) {
+			t.Fatalf("popped ID %d, want %d", e.ID, i)
+		}
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := New()
+	got := make(chan *tuple.Event, 1)
+	go func() {
+		e, ok := q.Pop()
+		if ok {
+			got <- e
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer block
+	q.Push(ev(42))
+	select {
+	case e := <-got:
+		if e.ID != 42 {
+			t.Fatalf("got ID %d, want 42", e.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop never unblocked after Push")
+	}
+}
+
+func TestCloseUnblocksPop(t *testing.T) {
+	q := New()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop returned ok=true after Close on empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop never unblocked after Close")
+	}
+}
+
+func TestCloseDrainsRemainingItems(t *testing.T) {
+	q := New()
+	q.Push(ev(1))
+	q.Push(ev(2))
+	q.Close()
+	if q.Push(ev(3)) {
+		t.Fatal("Push accepted after Close")
+	}
+	e1, ok1 := q.Pop()
+	e2, ok2 := q.Pop()
+	_, ok3 := q.Pop()
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("post-close pops = %v %v %v, want true true false", ok1, ok2, ok3)
+	}
+	if e1.ID != 1 || e2.ID != 2 {
+		t.Fatalf("post-close drain out of order: %d %d", e1.ID, e2.ID)
+	}
+}
+
+func TestClosedAccessor(t *testing.T) {
+	q := New()
+	if q.Closed() {
+		t.Fatal("new queue reports closed")
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("closed queue reports open")
+	}
+	q.Close() // idempotent
+}
+
+func TestTryPop(t *testing.T) {
+	q := New()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop returned ok on empty queue")
+	}
+	q.Push(ev(5))
+	e, ok := q.TryPop()
+	if !ok || e.ID != 5 {
+		t.Fatalf("TryPop = (%v, %v), want (5, true)", e, ok)
+	}
+}
+
+func TestSnapshotDoesNotConsume(t *testing.T) {
+	q := New()
+	q.Push(ev(1))
+	q.Push(ev(2))
+	snap := q.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 1 || snap[1].ID != 2 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Snapshot consumed items, Len = %d", q.Len())
+	}
+}
+
+func TestDrainRemaining(t *testing.T) {
+	q := New()
+	for i := 1; i <= 5; i++ {
+		q.Push(ev(tuple.ID(i)))
+	}
+	drained := q.DrainRemaining()
+	if len(drained) != 5 {
+		t.Fatalf("drained %d items, want 5", len(drained))
+	}
+	for i, e := range drained {
+		if e.ID != tuple.ID(i+1) {
+			t.Fatalf("drain out of order at %d: %d", i, e.ID)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.Len())
+	}
+	// Queue remains usable after a drain.
+	q.Push(ev(9))
+	if e, ok := q.Pop(); !ok || e.ID != 9 {
+		t.Fatal("queue unusable after DrainRemaining")
+	}
+}
+
+func TestConcurrentProducersSingleConsumer(t *testing.T) {
+	q := New()
+	const producers = 8
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(ev(tuple.ID(p*perProducer + i + 1)))
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	seen := make(map[tuple.ID]bool)
+	perProducerLast := make(map[int]tuple.ID)
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate delivery of %d", e.ID)
+		}
+		seen[e.ID] = true
+		// Per-producer FIFO: IDs from one producer must arrive ascending.
+		p := (int(e.ID) - 1) / perProducer
+		if last := perProducerLast[p]; e.ID <= last {
+			t.Fatalf("producer %d events reordered: %d after %d", p, e.ID, last)
+		}
+		perProducerLast[p] = e.ID
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d events, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// Property: any push sequence pops back in identical order.
+func TestFIFOProperty(t *testing.T) {
+	f := func(ids []uint32) bool {
+		q := New()
+		for _, id := range ids {
+			q.Push(ev(tuple.ID(id)))
+		}
+		for _, id := range ids {
+			e, ok := q.TryPop()
+			if !ok || e.ID != tuple.ID(id) {
+				return false
+			}
+		}
+		_, ok := q.TryPop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Snapshot equals the not-yet-popped suffix after k pops.
+func TestSnapshotProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		total := int(n%50) + 1
+		pops := int(k) % total
+		q := New()
+		for i := 1; i <= total; i++ {
+			q.Push(ev(tuple.ID(i)))
+		}
+		for i := 0; i < pops; i++ {
+			q.TryPop()
+		}
+		snap := q.Snapshot()
+		if len(snap) != total-pops {
+			return false
+		}
+		for i, e := range snap {
+			if e.ID != tuple.ID(pops+i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func sinkEvent(seq int64, pre bool) *tuple.Event {
+	return &tuple.Event{
+		ID: tuple.ID(seq + 1), Root: tuple.ID(seq + 1), Kind: tuple.Data,
+		Value: workload.Payload{Seq: seq}, PreMigration: pre,
+	}
+}
+
+func TestAuditLostDetection(t *testing.T) {
+	a := NewAudit()
+	t0 := timex.Epoch
+	a.RecordEmit(1, t0)
+	a.RecordEmit(2, t0)
+	a.RecordEmit(3, t0.Add(100*time.Second)) // late emit, beyond cutoff
+	a.RecordSink(sinkEvent(1, true), t0.Add(time.Second))
+
+	lost := a.Lost(t0.Add(10 * time.Second))
+	if len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("Lost = %v, want [2]", lost)
+	}
+}
+
+func TestAuditReplayDoesNotReRecordEmit(t *testing.T) {
+	a := NewAudit()
+	t0 := timex.Epoch
+	a.RecordEmit(5, t0)
+	a.RecordEmit(5, t0.Add(30*time.Second)) // replay of the same payload
+	if a.EmittedCount() != 1 {
+		t.Fatalf("EmittedCount = %d, want 1", a.EmittedCount())
+	}
+	// First-emit time governs the cutoff.
+	a.RecordSink(sinkEvent(5, true), t0.Add(40*time.Second))
+	if lost := a.Lost(t0.Add(50 * time.Second)); len(lost) != 0 {
+		t.Fatalf("Lost = %v after arrival", lost)
+	}
+}
+
+func TestAuditDuplicates(t *testing.T) {
+	a := NewAudit()
+	t0 := timex.Epoch
+	a.RecordEmit(1, t0)
+	for i := 0; i < 4; i++ {
+		a.RecordSink(sinkEvent(1, true), t0.Add(time.Second))
+	}
+	if d := a.Duplicates(4); d != 0 {
+		t.Fatalf("Duplicates(4) = %d for exactly-fanout arrivals", d)
+	}
+	a.RecordSink(sinkEvent(1, true), t0.Add(2*time.Second))
+	if d := a.Duplicates(4); d != 1 {
+		t.Fatalf("Duplicates(4) = %d after extra copy", d)
+	}
+	if got := a.SinkArrivals(); got != 5 {
+		t.Fatalf("SinkArrivals = %d", got)
+	}
+}
+
+func TestAuditBoundaryViolations(t *testing.T) {
+	a := NewAudit()
+	t0 := timex.Epoch
+	// Old events before the first new event: fine.
+	a.RecordSink(sinkEvent(1, true), t0)
+	a.RecordSink(sinkEvent(2, true), t0.Add(time.Second))
+	if v := a.BoundaryViolations(); v != 0 {
+		t.Fatalf("violations = %d before any new event", v)
+	}
+	// First new event, then an old straggler: one violation.
+	a.RecordSink(sinkEvent(10, false), t0.Add(2*time.Second))
+	a.RecordSink(sinkEvent(3, true), t0.Add(3*time.Second))
+	if v := a.BoundaryViolations(); v != 1 {
+		t.Fatalf("violations = %d, want 1", v)
+	}
+}
+
+func TestAuditIgnoresNonPayloadEvents(t *testing.T) {
+	a := NewAudit()
+	a.RecordSink(&tuple.Event{ID: 1, Kind: tuple.Data, Value: "raw"}, timex.Epoch)
+	if a.SinkArrivals() != 0 {
+		t.Fatal("non-payload event counted")
+	}
+}

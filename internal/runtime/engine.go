@@ -1,0 +1,647 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acker"
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/statestore"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Params configures an Engine.
+type Params struct {
+	// Topology is the dataflow to execute.
+	Topology *topology.Topology
+	// Factory builds the user logic of each task instance.
+	Factory workload.Factory
+	// Clock is the paper-time clock.
+	Clock timex.Clock
+	// Config carries the protocol constants.
+	Config Config
+	// InnerSchedule places the inner task instances on cluster slots.
+	InnerSchedule *scheduler.Schedule
+	// Pinned places the source and sink instances (never migrated).
+	Pinned map[topology.Instance]cluster.SlotRef
+	// CoordinatorSlot hosts the checkpoint coordinator (on the pinned VM).
+	CoordinatorSlot cluster.SlotRef
+}
+
+// Engine executes a dataflow and exposes the operations the migration
+// strategies are composed of: pausing sources, running checkpoint waves
+// (through the Coordinator), rebalancing onto a new schedule, and
+// restoring state. See the package comment for the architecture.
+type Engine struct {
+	cfg       Config
+	topo      *topology.Topology
+	clock     timex.Clock
+	factory   workload.Factory
+	collector *metrics.Collector
+	audit     *Audit
+	ack       *acker.Service
+	store     *statestore.Server
+	coord     *checkpoint.Coordinator
+	idgen     *tuple.IDGen
+	fab       *fabric
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu            sync.RWMutex
+	placement     map[string]cluster.SlotRef
+	executors     map[topology.Instance]*Executor
+	pendingSpawn  map[topology.Instance]*spawnBuffer
+	sources       []*Source
+	innerSchedule *scheduler.Schedule
+	respawnTimers []timex.Timer
+	started       bool
+	stopped       bool
+
+	// Static routing tables, built once.
+	shuffle       map[edgeKey]*atomic.Uint64
+	expectAlign   map[string]int
+	firstLayer    []topology.Instance
+	statefulInsts []topology.Instance
+
+	migration atomic.Bool
+	lostKill  atomic.Int64 // data events dropped by executor kills
+
+	wg sync.WaitGroup
+}
+
+type edgeKey struct{ from, to string }
+
+// coordinatorKey is the placement key of the checkpoint coordinator.
+const coordinatorKey = checkpoint.CoordinatorTask + "[0]"
+
+// New builds an Engine. Call Start to launch it.
+func New(p Params) (*Engine, error) {
+	if p.Topology == nil || p.Factory == nil || p.Clock == nil || p.InnerSchedule == nil {
+		return nil, fmt.Errorf("runtime: missing required params")
+	}
+	e := &Engine{
+		cfg:           p.Config,
+		topo:          p.Topology,
+		clock:         p.Clock,
+		factory:       p.Factory,
+		collector:     metrics.NewCollector(p.Clock),
+		audit:         NewAudit(),
+		store:         statestore.NewServer(),
+		idgen:         &tuple.IDGen{},
+		rng:           rand.New(rand.NewSource(p.Config.Seed)),
+		placement:     make(map[string]cluster.SlotRef),
+		executors:     make(map[topology.Instance]*Executor),
+		pendingSpawn:  make(map[topology.Instance]*spawnBuffer),
+		innerSchedule: p.InnerSchedule,
+		shuffle:       make(map[edgeKey]*atomic.Uint64),
+		expectAlign:   make(map[string]int),
+	}
+	e.ack = acker.New(p.Clock, ackTimeoutFor(p.Config), p.Config.AckBuckets)
+	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.deliver)
+	e.coord = checkpoint.NewCoordinator(p.Clock, (*engineTransport)(e), e.idgen)
+
+	// Placement: pinned boundary tasks, the coordinator, then the inner
+	// schedule.
+	for inst, ref := range p.Pinned {
+		e.placement[inst.String()] = ref
+	}
+	e.placement[coordinatorKey] = p.CoordinatorSlot
+	for _, inst := range p.InnerSchedule.Instances() {
+		ref, _ := p.InnerSchedule.Slot(inst)
+		e.placement[inst.String()] = ref
+	}
+
+	// Routing tables.
+	for _, name := range e.topo.TaskNames() {
+		for _, edge := range e.topo.Outgoing(name) {
+			e.shuffle[edgeKey{edge.From, edge.To}] = &atomic.Uint64{}
+		}
+	}
+	for _, task := range e.topo.Inner() {
+		expect := 0
+		hasSourceIn := false
+		for _, edge := range e.topo.Incoming(task.Name) {
+			from := e.topo.Task(edge.From)
+			if from.Role == topology.RoleSource {
+				hasSourceIn = true
+			} else {
+				expect += from.Parallelism
+			}
+		}
+		if hasSourceIn {
+			expect++ // one copy injected by the coordinator
+		}
+		e.expectAlign[task.Name] = expect
+		if hasSourceIn {
+			e.firstLayer = append(e.firstLayer, instancesOf(task)...)
+		}
+		if task.Stateful {
+			e.statefulInsts = append(e.statefulInsts, instancesOf(task)...)
+		}
+	}
+
+	// Verify every instance that needs a slot has one.
+	for _, inst := range e.topo.Instances() {
+		if _, ok := e.placement[inst.String()]; !ok {
+			return nil, fmt.Errorf("runtime: instance %s has no slot", inst)
+		}
+	}
+	return e, nil
+}
+
+// ackTimeoutFor disables data-event timeouts when acking is off: the acker
+// still exists but tracks nothing.
+func ackTimeoutFor(cfg Config) time.Duration {
+	if cfg.AckDataEvents() {
+		return cfg.AckTimeout
+	}
+	return 0
+}
+
+func instancesOf(task *topology.Task) []topology.Instance {
+	out := make([]topology.Instance, task.Parallelism)
+	for i := range out {
+		out[i] = topology.Instance{Task: task.Name, Index: i}
+	}
+	return out
+}
+
+// Start launches executors for every inner and sink instance, the
+// sources, and (under DSM) periodic checkpointing.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	for _, inst := range e.topo.Instances(topology.RoleInner, topology.RoleSink) {
+		ex := newExecutor(e, inst, true)
+		e.executors[inst] = ex
+		e.wg.Add(1)
+		go ex.run()
+	}
+	for _, inst := range e.topo.Instances(topology.RoleSource) {
+		s := newSource(e, inst)
+		e.sources = append(e.sources, s)
+		s.start()
+	}
+	e.mu.Unlock()
+
+	// Periodic checkpointing runs whenever an interval is configured
+	// (always for DSM; optionally for ablations of the JIT design).
+	if e.cfg.CheckpointInterval > 0 {
+		e.coord.StartPeriodic(e.cfg.CheckpointInterval, e.cfg.WaveTimeout)
+	}
+}
+
+// Stop shuts the engine down: coordinator, sources, acker, executors,
+// then the delivery fabric. Safe to call once.
+func (e *Engine) Stop() {
+	e.coord.Close()
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	for _, t := range e.respawnTimers {
+		t.Stop()
+	}
+	sources := e.sources
+	e.mu.Unlock()
+
+	for _, s := range sources {
+		s.stop()
+	}
+	e.ack.Close()
+
+	e.mu.Lock()
+	exs := make([]*Executor, 0, len(e.executors))
+	for _, ex := range e.executors {
+		exs = append(exs, ex)
+	}
+	e.executors = make(map[topology.Instance]*Executor)
+	e.mu.Unlock()
+	for _, ex := range exs {
+		ex.Kill()
+	}
+	e.wg.Wait()
+	e.fab.Close()
+}
+
+// --- accessors -----------------------------------------------------------
+
+// Collector returns the metrics collector.
+func (e *Engine) Collector() *metrics.Collector { return e.collector }
+
+// Audit returns the reliability auditor.
+func (e *Engine) Audit() *Audit { return e.audit }
+
+// Coordinator returns the checkpoint coordinator.
+func (e *Engine) Coordinator() *checkpoint.Coordinator { return e.coord }
+
+// Acker returns the acking service.
+func (e *Engine) Acker() *acker.Service { return e.ack }
+
+// Store returns the state store server (for inspection).
+func (e *Engine) Store() *statestore.Server { return e.store }
+
+// Clock returns the engine clock.
+func (e *Engine) Clock() timex.Clock { return e.clock }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Topology returns the running dataflow.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// ExpectedSinkRate returns the steady-state sink input rate in ev/s.
+func (e *Engine) ExpectedSinkRate() float64 {
+	rates := e.topo.InputRate(e.cfg.SourceRate)
+	total := 0.0
+	for _, sink := range e.topo.Sinks() {
+		total += rates[sink.Name]
+	}
+	return total
+}
+
+// Fanout returns the number of source→sink event copies per payload
+// (e.g. 4 for Grid), used by duplicate accounting.
+func (e *Engine) Fanout() int {
+	return int(e.ExpectedSinkRate()/e.cfg.SourceRate + 0.5)
+}
+
+// DroppedDeliveries reports events lost at delivery (down executors).
+func (e *Engine) DroppedDeliveries() uint64 { return e.fab.Dropped() }
+
+// LostAtKill reports data events discarded from killed executors' queues.
+func (e *Engine) LostAtKill() int64 { return e.lostKill.Load() }
+
+// Executor returns the live executor for an instance, or nil.
+func (e *Engine) Executor(inst topology.Instance) *Executor {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.executors[inst]
+}
+
+// SourcePendingCached sums roots cached across sources (awaiting acks).
+func (e *Engine) SourcePendingCached() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, s := range e.sources {
+		n += s.PendingCached()
+	}
+	return n
+}
+
+// --- migration operations ------------------------------------------------
+
+// OnMigrationRequested marks the user's migration request: the metrics
+// epoch and the event PreMigration boundary.
+func (e *Engine) OnMigrationRequested() {
+	e.collector.MarkMigrationRequested()
+	e.migration.Store(true)
+}
+
+func (e *Engine) migrationRequested() bool { return e.migration.Load() }
+
+// PauseSources stops all sources from emitting (their generators keep
+// accumulating backlog).
+func (e *Engine) PauseSources() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, s := range e.sources {
+		s.Pause()
+	}
+}
+
+// UnpauseSources resumes emission, draining backlog at the burst rate.
+func (e *Engine) UnpauseSources() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, s := range e.sources {
+		s.Unpause()
+	}
+}
+
+// PauseSinks stops sink executors from consuming (arrivals buffer in
+// their queues): the paper's "pause user sink" step of DCR/CCR, which
+// holds output throughput at zero until the migration restores.
+func (e *Engine) PauseSinks() {
+	e.forEachSink(func(ex *Executor) { ex.Pause() })
+}
+
+// UnpauseSinks resumes sink consumption.
+func (e *Engine) UnpauseSinks() {
+	e.forEachSink(func(ex *Executor) { ex.Unpause() })
+}
+
+func (e *Engine) forEachSink(f func(*Executor)) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for inst, ex := range e.executors {
+		if e.topo.Task(inst.Task).Role == topology.RoleSink {
+			f(ex)
+		}
+	}
+}
+
+// Rebalance enacts Storm's rebalance command with zero timeout: kill the
+// executors whose slots change, wait out the command's runtime, update
+// placement, and schedule the respawned workers with staggered start
+// delays. It returns once the command completes — workers may still be
+// starting, exactly as observed in the paper.
+func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
+	e.collector.MarkRebalanceStart()
+
+	e.mu.Lock()
+	migrating := scheduler.Diff(e.innerSchedule, newSched)
+	for _, inst := range migrating {
+		if ex := e.executors[inst]; ex != nil {
+			delete(e.executors, inst)
+			e.lostKill.Add(int64(ex.Kill()))
+		}
+	}
+	for _, inst := range newSched.Instances() {
+		ref, _ := newSched.Slot(inst)
+		e.placement[inst.String()] = ref
+	}
+	e.innerSchedule = newSched
+	e.mu.Unlock()
+
+	e.clock.Sleep(e.cfg.RebalanceCmdTime)
+	e.collector.MarkRebalanceEnd()
+
+	// Workers respawn in arbitrary order (Storm's assignment of executors
+	// to new workers is not deterministic), serialized by the stagger.
+	order := make([]topology.Instance, len(migrating))
+	copy(order, migrating)
+	e.rngMu.Lock()
+	e.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	e.rngMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, inst := range order {
+		inst := inst
+		// From this point the new assignment is known: the transport
+		// buffers data events for the starting worker (see spawnBuffer).
+		e.pendingSpawn[inst] = &spawnBuffer{}
+		delay := e.cfg.WorkerBaseDelay + time.Duration(i)*e.cfg.WorkerStagger + e.randJitter()
+		t := e.clock.AfterFunc(delay, func() { e.spawn(inst) })
+		e.respawnTimers = append(e.respawnTimers, t)
+	}
+	return migrating
+}
+
+func (e *Engine) randJitter() time.Duration {
+	if e.cfg.WorkerJitter <= 0 {
+		return 0
+	}
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return time.Duration(e.rng.Int63n(int64(e.cfg.WorkerJitter)))
+}
+
+// spawn brings a migrated executor up on its new slot. Stateful tasks
+// start uninitialized and buffer data until their INIT arrives. Events
+// the transport buffered while the worker was starting are flushed into
+// the input queue first, preserving per-link FIFO order.
+func (e *Engine) spawn(inst topology.Instance) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	buf := e.pendingSpawn[inst]
+	delete(e.pendingSpawn, inst)
+	if _, exists := e.executors[inst]; exists {
+		return
+	}
+	ex := newExecutor(e, inst, false)
+	if buf != nil {
+		buf.mu.Lock()
+		for _, ev := range buf.events {
+			ex.in.Push(ev)
+		}
+		buf.events = nil
+		buf.mu.Unlock()
+	}
+	e.executors[inst] = ex
+	e.wg.Add(1)
+	go ex.run()
+}
+
+// CrashExecutor kills an executor abruptly (fault injection): its queue
+// is discarded exactly as when a worker JVM dies. Unlike Rebalance, no
+// respawn is scheduled — pair with RestartExecutor to model a supervisor
+// restarting the worker.
+func (e *Engine) CrashExecutor(inst topology.Instance) bool {
+	e.mu.Lock()
+	ex := e.executors[inst]
+	delete(e.executors, inst)
+	e.mu.Unlock()
+	if ex == nil {
+		return false
+	}
+	e.lostKill.Add(int64(ex.Kill()))
+	return true
+}
+
+// RestartExecutor spawns a fresh executor for a crashed instance on its
+// current slot, uninitialized if stateful (it buffers data until an INIT
+// wave hands it the last committed state), as Storm supervisors do.
+func (e *Engine) RestartExecutor(inst topology.Instance) {
+	e.spawn(inst)
+}
+
+// SwapLogicFactory atomically replaces the logic factory used for
+// executors spawned from now on. Combined with a drain-based migration it
+// implements the paper's §7 extension: updating the task logic by
+// re-wiring the DAG on the fly — the drained state is checkpointed, the
+// rebalance respawns executors built by the new factory, and INIT hands
+// them the old state to carry forward.
+func (e *Engine) SwapLogicFactory(f workload.Factory) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.factory = f
+}
+
+// RunningExecutors reports how many executors are currently live.
+func (e *Engine) RunningExecutors() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.executors)
+}
+
+// --- routing --------------------------------------------------------------
+
+// slotOf resolves an instance key's current slot.
+func (e *Engine) slotOf(key string) cluster.SlotRef {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.placement[key]
+}
+
+// spawnBuffer holds data events addressed to an instance whose worker is
+// still starting on its new slot. This models Storm's transport behavior
+// after a rebalance: once the new assignment is distributed, senders'
+// transport clients queue messages for workers they cannot reach yet and
+// flush on connect. Checkpoint/control events are NOT buffered — Storm's
+// StatefulBoltExecutor fails checkpoint tuples that arrive before the
+// task is ready, which is exactly why the paper observes INIT waves
+// timing out in ~30 s jumps under DSM.
+type spawnBuffer struct {
+	mu     sync.Mutex
+	events []*tuple.Event
+}
+
+// deliver pushes ev onto the destination executor's queue. Data events
+// addressed to a respawning instance are buffered until its worker
+// starts; everything else addressed to a down instance is lost (false).
+func (e *Engine) deliver(to topology.Instance, ev *tuple.Event) bool {
+	e.mu.RLock()
+	ex := e.executors[to]
+	buf := e.pendingSpawn[to]
+	e.mu.RUnlock()
+	if ex != nil && !ex.killed.Load() {
+		return ex.in.Push(ev)
+	}
+	if buf != nil && ev.IsData() {
+		buf.mu.Lock()
+		defer buf.mu.Unlock()
+		if cap := e.cfg.TransportBufferCap; cap > 0 && len(buf.events) >= cap {
+			return false // transport queue overflow: dropped like netty's max retries
+		}
+		buf.events = append(buf.events, ev)
+		return true
+	}
+	return false
+}
+
+// routeData fans a processed event's output out along every outgoing
+// edge, creating one anchored child per target instance.
+func (e *Engine) routeData(from topology.Instance, parent *tuple.Event, value any, key uint64) {
+	for _, edge := range e.topo.Outgoing(from.Task) {
+		target := e.pickTarget(edge, key)
+		child := parent.Child(e.idgen.Next(), from.Task, from.Index, value)
+		child.Key = key
+		if e.cfg.AckDataEvents() && parent.Root != 0 {
+			e.ack.Anchor(parent.Root, child.ID)
+		}
+		e.fab.Send(from.String(), target, child)
+	}
+}
+
+// routeFromSource routes a fresh root event to the first task layer,
+// anchoring one child per edge target.
+func (e *Engine) routeFromSource(from topology.Instance, root *tuple.Event) {
+	for _, edge := range e.topo.Outgoing(from.Task) {
+		target := e.pickTarget(edge, root.Key)
+		child := root.Child(e.idgen.Next(), from.Task, from.Index, root.Value)
+		if e.cfg.AckDataEvents() {
+			e.ack.Anchor(root.Root, child.ID)
+		}
+		e.fab.Send(from.String(), target, child)
+	}
+}
+
+// pickTarget selects the destination instance on an edge per its
+// grouping.
+func (e *Engine) pickTarget(edge topology.Edge, key uint64) topology.Instance {
+	par := e.topo.Task(edge.To).Parallelism
+	var idx int
+	switch edge.Grouping {
+	case topology.Fields:
+		idx = int(hash64(key) % uint64(par))
+	case topology.Global:
+		idx = 0
+	case topology.All:
+		// All-grouping is handled by callers that need it (checkpoint
+		// forwarding); for data we treat it as shuffle to keep the
+		// one-target contract.
+		fallthrough
+	default: // Shuffle
+		ctr := e.shuffle[edgeKey{edge.From, edge.To}]
+		idx = int((ctr.Add(1) - 1) % uint64(par))
+	}
+	return topology.Instance{Task: edge.To, Index: idx}
+}
+
+// forwardCheckpoint sends a sequential checkpoint event from an instance
+// to every instance of every downstream inner task (sinks do not
+// participate in the protocol).
+func (e *Engine) forwardCheckpoint(from topology.Instance, ev *tuple.Event) {
+	for _, edge := range e.topo.Outgoing(from.Task) {
+		to := e.topo.Task(edge.To)
+		if to.Role != topology.RoleInner {
+			continue
+		}
+		for i := 0; i < to.Parallelism; i++ {
+			cp := ev.Clone()
+			cp.ID = e.idgen.Next()
+			cp.SrcTask = from.Task
+			cp.SrcInstance = from.Index
+			e.fab.Send(from.String(), topology.Instance{Task: edge.To, Index: i}, cp)
+		}
+	}
+}
+
+// recordSink feeds a sink arrival to the collector and auditor.
+func (e *Engine) recordSink(ev *tuple.Event) {
+	e.collector.SinkReceive(ev)
+	e.audit.RecordSink(ev, e.clock.Now())
+}
+
+// --- checkpoint transport --------------------------------------------------
+
+// engineTransport adapts the engine to checkpoint.Transport.
+type engineTransport Engine
+
+var _ checkpoint.Transport = (*engineTransport)(nil)
+
+// SendBroadcast implements checkpoint.Transport: hub-and-spoke delivery
+// straight to every stateful instance (CCR's wiring).
+func (t *engineTransport) SendBroadcast(ev *tuple.Event) {
+	e := (*Engine)(t)
+	for _, inst := range e.statefulInsts {
+		cp := ev.Clone()
+		cp.ID = e.idgen.Next()
+		e.fab.Send(coordinatorKey, inst, cp)
+	}
+}
+
+// SendFirstLayer implements checkpoint.Transport: inject at the task
+// layer fed by the sources, from which the wave sweeps the dataflow.
+func (t *engineTransport) SendFirstLayer(ev *tuple.Event) {
+	e := (*Engine)(t)
+	for _, inst := range e.firstLayer {
+		cp := ev.Clone()
+		cp.ID = e.idgen.Next()
+		e.fab.Send(coordinatorKey, inst, cp)
+	}
+}
+
+// ExpectedAckers implements checkpoint.Transport.
+func (t *engineTransport) ExpectedAckers() []string {
+	e := (*Engine)(t)
+	keys := make([]string, len(e.statefulInsts))
+	for i, inst := range e.statefulInsts {
+		keys[i] = inst.String()
+	}
+	sort.Strings(keys)
+	return keys
+}

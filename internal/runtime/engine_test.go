@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataflows"
+	"repro/internal/topology"
+)
+
+func TestExpectAlignCounts(t *testing.T) {
+	h := newHarness(t, dataflows.Grid().Topology, ModeDCR)
+	tests := map[string]int{
+		"A1": 1, // coordinator only (fed by source)
+		"A2": 1, // A1 has 1 instance
+		"J1": 2, // A4(1) + B4(1)
+		"J2": 2, // J1 has 2 instances
+		"K":  3, // J2(2) + C3(1)
+		"L":  3, // K has 3 instances
+	}
+	for task, want := range tests {
+		if got := h.eng.expectAlign[task]; got != want {
+			t.Errorf("expectAlign[%s] = %d, want %d", task, got, want)
+		}
+	}
+}
+
+func TestFanoutPerBenchmarkDAG(t *testing.T) {
+	want := map[string]int{
+		"linear-5": 1,
+		"diamond":  4,
+		"star":     4,
+		"grid":     4,
+		"traffic":  4,
+	}
+	for _, spec := range dataflows.All() {
+		h := newHarness(t, spec.Topology, ModeDCR)
+		if got := h.eng.Fanout(); got != want[spec.Topology.Name()] {
+			t.Errorf("%s fanout = %d, want %d", spec.Topology.Name(), got, want[spec.Topology.Name()])
+		}
+	}
+}
+
+func TestFirstLayerAndStatefulSets(t *testing.T) {
+	h := newHarness(t, dataflows.Grid().Topology, ModeDCR)
+	if got := len(h.eng.firstLayer); got != 3 { // A1, B1, C1
+		t.Fatalf("first layer = %d instances, want 3", got)
+	}
+	if got := len(h.eng.statefulInsts); got != 21 {
+		t.Fatalf("stateful instances = %d, want 21", got)
+	}
+	tr := (*engineTransport)(h.eng)
+	if got := len(tr.ExpectedAckers()); got != 21 {
+		t.Fatalf("expected ackers = %d, want 21", got)
+	}
+}
+
+func TestSpawnBufferFlushPreservesOrder(t *testing.T) {
+	h := newHarness(t, linear3(), ModeCCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+	h.eng.PauseSources()
+	time.Sleep(100 * time.Millisecond)
+
+	// Kill T2 and register it as respawning; deliveries should buffer.
+	inst := topology.Instance{Task: "T2", Index: 0}
+	h.eng.mu.Lock()
+	ex := h.eng.executors[inst]
+	delete(h.eng.executors, inst)
+	h.eng.pendingSpawn[inst] = &spawnBuffer{}
+	h.eng.mu.Unlock()
+	ex.Kill()
+
+	// Data events buffer; checkpoint events to a down executor drop.
+	drops0 := h.eng.DroppedDeliveries()
+	h.eng.UnpauseSources()
+	waitUntil(t, 5*time.Second, "buffered deliveries", func() bool {
+		h.eng.mu.RLock()
+		buf := h.eng.pendingSpawn[inst]
+		h.eng.mu.RUnlock()
+		buf.mu.Lock()
+		n := len(buf.events)
+		buf.mu.Unlock()
+		return n >= 5
+	})
+	if h.eng.DroppedDeliveries() != drops0 {
+		t.Fatalf("data deliveries dropped instead of buffered")
+	}
+
+	// Respawn: buffered events flush in order and processing resumes
+	// (task is stateful, so it waits for INIT — send one).
+	h.eng.spawn(inst)
+	h.eng.mu.RLock()
+	_, stillPending := h.eng.pendingSpawn[inst]
+	h.eng.mu.RUnlock()
+	if stillPending {
+		t.Fatal("pendingSpawn entry not cleared by spawn")
+	}
+}
+
+func TestSourceBacklogAccumulatesWhilePaused(t *testing.T) {
+	h := newHarness(t, linear3(), ModeDCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+	h.eng.PauseSources()
+	h.eng.mu.RLock()
+	src := h.eng.sources[0]
+	h.eng.mu.RUnlock()
+	waitUntil(t, 5*time.Second, "backlog growth", func() bool {
+		return src.Backlog() >= 10
+	})
+	h.eng.UnpauseSources()
+	waitUntil(t, 5*time.Second, "backlog drain", func() bool {
+		return src.Backlog() < 3
+	})
+}
+
+func TestLostAtKillCountsQueuedData(t *testing.T) {
+	h := newHarness(t, linear3(), ModeDSM)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 30
+	})
+	h.eng.OnMigrationRequested()
+	h.eng.Rebalance(h.newSchedule(t))
+	// Some events were almost certainly queued at kill time under 100/s.
+	if h.eng.LostAtKill() == 0 {
+		t.Log("note: no events queued at kill (timing-dependent); acceptable")
+	}
+	// Replays must eventually recover whatever was dropped.
+	waitUntil(t, 20*time.Second, "recovery", func() bool {
+		return len(h.eng.Audit().Lost(h.eng.Clock().Now().Add(-2*time.Second))) == 0
+	})
+}
+
+func TestEngineRejectsUnplacedInstances(t *testing.T) {
+	h := newHarness(t, linear3(), ModeDCR)
+	// Build params with a missing pinned slot.
+	_, err := New(Params{
+		Topology:      h.eng.Topology(),
+		Factory:       h.eng.factory,
+		Clock:         h.eng.clock,
+		Config:        h.eng.cfg,
+		InnerSchedule: h.oldSched,
+		Pinned:        nil, // source and sink unplaced
+	})
+	if err == nil {
+		t.Fatal("New accepted params with unplaced source/sink")
+	}
+}

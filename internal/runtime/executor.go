@@ -1,0 +1,432 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/statestore"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Executor runs one task instance: a single goroutine consuming the
+// instance's input queue, exactly like a Storm executor. The platform
+// logic layered around the user logic implements the checkpoint protocol
+// of §3 — snapshot on PREPARE, persist on COMMIT, restore and resume on
+// INIT — including CCR's capture of in-flight events and the pre-INIT
+// buffering of Storm's StatefulBoltExecutor.
+type Executor struct {
+	eng   *Engine
+	inst  topology.Instance
+	task  *topology.Task
+	in    *queue.Queue
+	logic workload.Logic
+	store *statestore.Client
+
+	killed atomic.Bool
+
+	// pause gates the consumption loop. The paper's DCR/CCR pause the
+	// user sink during migration (Fig. 2), so no output leaves the
+	// dataflow between the request and the post-INIT unpause; events
+	// accumulate in the input queue meanwhile.
+	pauseMu   sync.Mutex
+	pauseWake *sync.Cond
+	paused    bool
+
+	// Platform state below is touched only by the executor goroutine.
+
+	// initialized gates data processing for stateful tasks: a respawned
+	// executor buffers data until its INIT restores the committed state.
+	initialized bool
+	preInit     []*tuple.Event
+
+	// capture is CCR's post-PREPARE flag: data events are appended to
+	// pending instead of being processed (§3.2).
+	capture bool
+	pending []*tuple.Event
+
+	// prepared holds the user-state snapshot between PREPARE and COMMIT.
+	prepared     any
+	preparedWave uint64
+
+	// aligned counts sequential checkpoint events received per wave/kind;
+	// the executor acts once the count reaches expectAlign (rearguard
+	// alignment over every input edge).
+	aligned     map[alignKey]int
+	expectAlign int
+
+	// forwarded dedups INIT forwarding per wave round, so resent waves
+	// sweep through already-initialized tasks without multiplying.
+	forwarded map[alignKey]bool
+
+	// lastPrepared dedups broadcast PREPAREs per wave.
+	lastActedPrepare uint64
+
+	// droppedAtKill counts queued data events discarded by Kill.
+	droppedAtKill int
+
+	// busyUntil is the absolute paper-time instant the executor's core is
+	// free: service time is charged as a deadline so the effective
+	// processing rate stays exact under a compressed clock (relative
+	// sleeps would inflate the 100 ms task latency by the OS timer's
+	// oversleep and silently lower the task's capacity).
+	busyUntil time.Time
+}
+
+type alignKey struct {
+	wave  uint64
+	kind  tuple.Kind
+	round int
+}
+
+// checkpointBlob is what COMMIT persists: the user state plus, under CCR,
+// the captured in-flight events.
+type checkpointBlob struct {
+	// UserState is the gob-encoded user snapshot (nil for empty state).
+	UserState []byte
+	// Pending are CCR's captured events, replayed on INIT.
+	Pending []savedEvent
+	// Wave is the checkpoint wave that produced this blob.
+	Wave uint64
+}
+
+// savedEvent is the gob-portable subset of a captured event.
+type savedEvent struct {
+	ID           tuple.ID
+	Root         tuple.ID
+	Key          uint64
+	Value        any
+	RootEmit     time.Time
+	Replayed     bool
+	PreMigration bool
+}
+
+func toSaved(ev *tuple.Event) savedEvent {
+	return savedEvent{
+		ID: ev.ID, Root: ev.Root, Key: ev.Key, Value: ev.Value,
+		RootEmit: ev.RootEmit, Replayed: ev.Replayed, PreMigration: ev.PreMigration,
+	}
+}
+
+func (s savedEvent) restore(srcTask string, srcInstance int) *tuple.Event {
+	return &tuple.Event{
+		ID: s.ID, Root: s.Root, Kind: tuple.Data, Key: s.Key, Value: s.Value,
+		SrcTask: srcTask, SrcInstance: srcInstance,
+		RootEmit: s.RootEmit, Replayed: s.Replayed, PreMigration: s.PreMigration,
+	}
+}
+
+func newExecutor(eng *Engine, inst topology.Instance, initialized bool) *Executor {
+	task := eng.topo.Task(inst.Task)
+	ex := &Executor{
+		eng:         eng,
+		inst:        inst,
+		task:        task,
+		in:          queue.New(),
+		logic:       eng.factory(inst.Task, inst.Index),
+		store:       statestore.NewClient(eng.store, eng.clock, eng.cfg.StoreLatency),
+		initialized: initialized,
+		aligned:     make(map[alignKey]int),
+		forwarded:   make(map[alignKey]bool),
+		expectAlign: eng.expectAlign[inst.Task],
+	}
+	if !task.Stateful {
+		ex.initialized = true
+	}
+	ex.pauseWake = sync.NewCond(&ex.pauseMu)
+	return ex
+}
+
+// run is the executor main loop.
+func (ex *Executor) run() {
+	defer ex.eng.wg.Done()
+	for {
+		ev, ok := ex.in.Pop()
+		if !ok {
+			return
+		}
+		ex.waitWhilePaused()
+		if ex.killed.Load() {
+			continue // drain what Kill left behind without processing
+		}
+		if ev.Kind.IsCheckpoint() {
+			ex.handleCheckpoint(ev)
+			continue
+		}
+		ex.handleData(ev)
+	}
+}
+
+// Pause stops the executor from consuming further events (they buffer in
+// the input queue). Used on sink instances during DCR/CCR migrations.
+func (ex *Executor) Pause() {
+	ex.pauseMu.Lock()
+	defer ex.pauseMu.Unlock()
+	ex.paused = true
+}
+
+// Unpause resumes consumption.
+func (ex *Executor) Unpause() {
+	ex.pauseMu.Lock()
+	defer ex.pauseMu.Unlock()
+	ex.paused = false
+	ex.pauseWake.Broadcast()
+}
+
+func (ex *Executor) waitWhilePaused() {
+	ex.pauseMu.Lock()
+	defer ex.pauseMu.Unlock()
+	for ex.paused && !ex.killed.Load() {
+		ex.pauseWake.Wait()
+	}
+}
+
+func (ex *Executor) handleData(ev *tuple.Event) {
+	if ex.task.Role == topology.RoleSink {
+		ex.eng.recordSink(ev)
+		if ex.eng.cfg.AckDataEvents() {
+			ex.eng.ack.Ack(ev.Root, ev.ID)
+		}
+		return
+	}
+	if !ex.initialized {
+		ex.preInit = append(ex.preInit, ev)
+		return
+	}
+	if ex.capture {
+		ex.pending = append(ex.pending, ev)
+		return
+	}
+	ex.process(ev)
+}
+
+// process charges the task latency, runs the user logic (emitting
+// downstream), and acknowledges the input.
+func (ex *Executor) process(ev *tuple.Event) {
+	now := ex.eng.clock.Now()
+	if ex.busyUntil.Before(now) {
+		ex.busyUntil = now
+	}
+	ex.busyUntil = ex.busyUntil.Add(ex.eng.cfg.TaskLatency)
+	timex.SleepUntil(ex.eng.clock, ex.busyUntil)
+	ex.logic.Process(ev, func(value any, key uint64) {
+		ex.eng.routeData(ex.inst, ev, value, key)
+	})
+	if ex.eng.cfg.AckDataEvents() {
+		ex.eng.ack.Ack(ev.Root, ev.ID)
+	}
+}
+
+func (ex *Executor) handleCheckpoint(ev *tuple.Event) {
+	switch ev.Kind {
+	case tuple.Prepare:
+		if ev.Broadcast {
+			// Hub-and-spoke PREPARE: act on first receipt per wave. It
+			// sat at the end of the local queue, so everything queued
+			// before it has been handled; under CCR, capture begins and
+			// later arrivals go to the pending list (§3.2).
+			if ex.lastActedPrepare == ev.Wave {
+				ex.ackWave(ev)
+				return
+			}
+			ex.lastActedPrepare = ev.Wave
+			ex.snapshot(ev.Wave)
+			if ex.eng.cfg.Mode == ModeCCR {
+				ex.capture = true
+			}
+			ex.ackWave(ev)
+			return
+		}
+		// Sequential PREPARE: the rearguard. Act only after a copy arrived
+		// on every input edge, guaranteeing the dataflow upstream of this
+		// task has drained.
+		if !ex.arrived(ev) {
+			return
+		}
+		ex.snapshot(ev.Wave)
+		ex.forward(ev)
+		ex.ackWave(ev)
+
+	case tuple.Commit:
+		// COMMIT always sweeps sequentially behind all in-flight data.
+		if !ex.arrived(ev) {
+			return
+		}
+		ex.persist(ev.Wave)
+		ex.forward(ev)
+		ex.ackWave(ev)
+
+	case tuple.Rollback:
+		// Broadcast: discard the prepared snapshot, stop capturing, and
+		// process whatever was captured as ordinary input.
+		ex.prepared = nil
+		ex.preparedWave = 0
+		if ex.capture {
+			ex.capture = false
+			pend := ex.pending
+			ex.pending = nil
+			for _, p := range pend {
+				ex.process(p)
+			}
+		}
+		ex.ackWave(ev)
+
+	case tuple.Init:
+		ex.handleInit(ev)
+	}
+}
+
+// arrived counts one sequential checkpoint copy and reports whether the
+// wave/kind/round is fully aligned across all input edges.
+func (ex *Executor) arrived(ev *tuple.Event) bool {
+	k := alignKey{wave: ev.Wave, kind: ev.Kind, round: ev.Round}
+	ex.aligned[k]++
+	if ex.aligned[k] < ex.expectAlign {
+		return false
+	}
+	delete(ex.aligned, k)
+	return true
+}
+
+// snapshot takes the user-state snapshot (the PREPARE action).
+func (ex *Executor) snapshot(wave uint64) {
+	if !ex.task.Stateful {
+		return
+	}
+	ex.prepared = ex.logic.State()
+	ex.preparedWave = wave
+}
+
+// persist writes the prepared snapshot — plus captured events under CCR —
+// to the state store (the COMMIT action).
+func (ex *Executor) persist(wave uint64) {
+	if !ex.task.Stateful {
+		return
+	}
+	blob := checkpointBlob{Wave: wave}
+	if ex.prepared != nil {
+		data, err := statestore.Encode(&ex.prepared)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: %s: encode state: %v", ex.inst, err))
+		}
+		blob.UserState = data
+	}
+	if ex.eng.cfg.Mode == ModeCCR {
+		blob.Pending = make([]savedEvent, len(ex.pending))
+		for i, p := range ex.pending {
+			blob.Pending[i] = toSaved(p)
+		}
+	}
+	data, err := statestore.Encode(blob)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: %s: encode blob: %v", ex.inst, err))
+	}
+	ex.store.Set(statestore.CheckpointKey(ex.eng.topo.Name(), ex.inst.String()), data)
+	ex.prepared = nil
+}
+
+// handleInit restores committed state and resumes captured/buffered work.
+func (ex *Executor) handleInit(ev *tuple.Event) {
+	if ex.initialized {
+		// Already restored: pass resent sequential waves along (once per
+		// round) so they reach still-uninitialized downstream tasks, and
+		// re-ack.
+		if !ev.Broadcast {
+			ex.forwardOnce(ev)
+		}
+		ex.ackWave(ev)
+		return
+	}
+	// Restore the last committed snapshot.
+	var restored []savedEvent
+	if data, ok := ex.store.Get(statestore.CheckpointKey(ex.eng.topo.Name(), ex.inst.String())); ok {
+		var blob checkpointBlob
+		if err := statestore.Decode(data, &blob); err != nil {
+			panic(fmt.Sprintf("runtime: %s: decode blob: %v", ex.inst, err))
+		}
+		if blob.UserState != nil {
+			var state any
+			if err := statestore.Decode(blob.UserState, &state); err != nil {
+				panic(fmt.Sprintf("runtime: %s: decode state: %v", ex.inst, err))
+			}
+			if err := ex.logic.Restore(state); err != nil {
+				panic(fmt.Sprintf("runtime: %s: restore: %v", ex.inst, err))
+			}
+		}
+		restored = blob.Pending
+	}
+	ex.initialized = true
+	if !ev.Broadcast {
+		ex.forwardOnce(ev)
+	}
+	ex.ackWave(ev)
+
+	// CCR: resume the captured in-flight events (ack first, then replay,
+	// per §3.2), then drain anything buffered while uninitialized.
+	for _, s := range restored {
+		ex.process(s.restore(ex.inst.Task, ex.inst.Index))
+	}
+	buffered := ex.preInit
+	ex.preInit = nil
+	for _, ev := range buffered {
+		ex.handleData(ev)
+	}
+}
+
+// forward sends a sequential checkpoint event to every instance of every
+// downstream inner task.
+func (ex *Executor) forward(ev *tuple.Event) {
+	ex.eng.forwardCheckpoint(ex.inst, ev)
+}
+
+// forwardOnce forwards at most once per wave round.
+func (ex *Executor) forwardOnce(ev *tuple.Event) {
+	k := alignKey{wave: ev.Wave, kind: ev.Kind, round: ev.Round}
+	if ex.forwarded[k] {
+		return
+	}
+	ex.forwarded[k] = true
+	ex.forward(ev)
+}
+
+// ackWave acknowledges a checkpoint event to the coordinator (stateful
+// tasks only; stateless tasks merely pass waves along).
+func (ex *Executor) ackWave(ev *tuple.Event) {
+	if !ex.task.Stateful {
+		return
+	}
+	ex.eng.coord.Ack(ex.inst.String(), ev.Wave)
+}
+
+// Kill stops the executor immediately, discarding its queue. Queued data
+// events are lost exactly as when Storm kills a worker: with acking on,
+// their causal trees later time out and the source replays them.
+func (ex *Executor) Kill() (droppedData int) {
+	ex.killed.Store(true)
+	ex.pauseMu.Lock()
+	ex.pauseWake.Broadcast() // release a paused loop so it can exit
+	ex.pauseMu.Unlock()
+	dropped := ex.in.DrainRemaining()
+	ex.in.Close()
+	for _, ev := range dropped {
+		if ev.IsData() {
+			droppedData++
+		}
+	}
+	ex.droppedAtKill = droppedData
+	return droppedData
+}
+
+// Instance returns the executor's instance identity.
+func (ex *Executor) Instance() topology.Instance { return ex.inst }
+
+// QueueLen reports the current input queue depth (diagnostics).
+func (ex *Executor) QueueLen() int { return ex.in.Len() }
+
+// Logic exposes the user logic for test assertions.
+func (ex *Executor) Logic() workload.Logic { return ex.logic }

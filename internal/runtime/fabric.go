@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+)
+
+// deliverFn resolves the destination instance and enqueues the event,
+// reporting false when the destination executor is down (the event is
+// lost, as when Storm delivers to a killed worker).
+type deliverFn func(to topology.Instance, ev *tuple.Event) bool
+
+// slotFn resolves an instance key's current slot (placement changes
+// during rebalance).
+type slotFn func(instanceKey string) cluster.SlotRef
+
+// fabric moves events between instances over per-(sender,receiver) FIFO
+// links. Each link is a goroutine that delays deliveries by the network
+// latency of the endpoints' current placement while preserving order —
+// the property the sequential checkpoint waves (rearguard PREPARE, swept
+// COMMIT) rely on.
+type fabric struct {
+	clock   timex.Clock
+	net     cluster.NetworkModel
+	slotOf  slotFn
+	deliver deliverFn
+
+	mu     sync.Mutex
+	links  map[linkKey]*link
+	closed bool
+	wg     sync.WaitGroup
+
+	// dropped counts events lost at delivery (down executor or closed
+	// fabric); with acking on, these are exactly the events the acker
+	// later replays.
+	dropped atomic.Uint64
+}
+
+type linkKey struct {
+	from string
+	to   topology.Instance
+}
+
+type delivery struct {
+	ev        *tuple.Event
+	deliverAt time.Time
+}
+
+// linkBuffer is the per-link in-flight capacity; senders block when a
+// link is saturated (network backpressure).
+const linkBuffer = 4096
+
+type link struct {
+	ch chan delivery
+}
+
+func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, deliver deliverFn) *fabric {
+	return &fabric{
+		clock:   clock,
+		net:     net,
+		slotOf:  slotOf,
+		deliver: deliver,
+		links:   make(map[linkKey]*link),
+	}
+}
+
+// Send schedules ev for delivery from the sender (an instance key; the
+// coordinator and sources send too) to the destination instance, after
+// the one-way latency between their current slots.
+func (f *fabric) Send(fromKey string, to topology.Instance, ev *tuple.Event) {
+	lat := f.net.Latency(f.slotOf(fromKey), f.slotOf(to.String()))
+	deliverAt := f.clock.Now().Add(lat)
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.dropped.Add(1)
+		return
+	}
+	key := linkKey{from: fromKey, to: to}
+	l, ok := f.links[key]
+	if !ok {
+		l = &link{ch: make(chan delivery, linkBuffer)}
+		f.links[key] = l
+		f.wg.Add(1)
+		go f.run(l, to)
+	}
+	f.mu.Unlock()
+
+	l.ch <- delivery{ev: ev, deliverAt: deliverAt}
+}
+
+// run drains one link in FIFO order, delaying each delivery to its
+// deadline. SleepUntil gives sub-oversleep precision: per-hop network
+// latencies are a millisecond of paper time, far below the OS timer's
+// oversleep under a compressed clock.
+func (f *fabric) run(l *link, to topology.Instance) {
+	defer f.wg.Done()
+	for d := range l.ch {
+		timex.SleepUntil(f.clock, d.deliverAt)
+		if !f.deliver(to, d.ev) {
+			f.dropped.Add(1)
+		}
+	}
+}
+
+// Dropped reports events lost at delivery so far.
+func (f *fabric) Dropped() uint64 { return f.dropped.Load() }
+
+// Close stops all links after their queued deliveries drain. Callers must
+// guarantee no concurrent Send (the engine stops producers first).
+func (f *fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	links := make([]*link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	for _, l := range links {
+		close(l.ch)
+	}
+	f.wg.Wait()
+}

@@ -1,0 +1,166 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+)
+
+// collectingDeliver records deliveries per destination, optionally
+// rejecting some instances.
+type collectingDeliver struct {
+	mu     sync.Mutex
+	got    map[topology.Instance][]*tuple.Event
+	reject map[topology.Instance]bool
+}
+
+func newCollectingDeliver() *collectingDeliver {
+	return &collectingDeliver{
+		got:    make(map[topology.Instance][]*tuple.Event),
+		reject: make(map[topology.Instance]bool),
+	}
+}
+
+func (c *collectingDeliver) deliver(to topology.Instance, ev *tuple.Event) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reject[to] {
+		return false
+	}
+	c.got[to] = append(c.got[to], ev)
+	return true
+}
+
+func (c *collectingDeliver) events(to topology.Instance) []*tuple.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*tuple.Event, len(c.got[to]))
+	copy(out, c.got[to])
+	return out
+}
+
+func testFabric(col *collectingDeliver) (*fabric, *timex.ScaledClock) {
+	clock := timex.NewScaled(1)
+	slots := func(key string) cluster.SlotRef {
+		// Everyone on one VM except "far" senders.
+		if key == "far[0]" {
+			return cluster.SlotRef{VM: "vm-9", Slot: 0}
+		}
+		return cluster.SlotRef{VM: "vm-0", Slot: 0}
+	}
+	net := cluster.NetworkModel{
+		SameSlot: 0,
+		IntraVM:  time.Millisecond,
+		InterVM:  5 * time.Millisecond,
+	}
+	return newFabric(clock, net, slots, col.deliver), clock
+}
+
+func TestFabricDeliversInFIFOOrder(t *testing.T) {
+	col := newCollectingDeliver()
+	f, _ := testFabric(col)
+	defer f.Close()
+	to := topology.Instance{Task: "T", Index: 0}
+	const n = 200
+	for i := 1; i <= n; i++ {
+		f.Send("src[0]", to, &tuple.Event{ID: tuple.ID(i), Kind: tuple.Data})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.events(to)) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", len(col.events(to)), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, ev := range col.events(to) {
+		if ev.ID != tuple.ID(i+1) {
+			t.Fatalf("delivery %d has ID %d (reordered)", i, ev.ID)
+		}
+	}
+}
+
+func TestFabricCountsDrops(t *testing.T) {
+	col := newCollectingDeliver()
+	f, _ := testFabric(col)
+	defer f.Close()
+	down := topology.Instance{Task: "Down", Index: 0}
+	col.mu.Lock()
+	col.reject[down] = true
+	col.mu.Unlock()
+	for i := 0; i < 10; i++ {
+		f.Send("src[0]", down, &tuple.Event{ID: tuple.ID(i + 1), Kind: tuple.Data})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Dropped() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Dropped = %d, want 10", f.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFabricChargesLatency(t *testing.T) {
+	col := newCollectingDeliver()
+	f, clock := testFabric(col)
+	defer f.Close()
+	to := topology.Instance{Task: "T", Index: 0}
+	start := clock.Now()
+	f.Send("far[0]", to, &tuple.Event{ID: 1, Kind: tuple.Data}) // inter-VM: 5ms
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.events(to)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never delivered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if elapsed := clock.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("inter-VM delivery took %v, want >= ~5ms", elapsed)
+	}
+}
+
+func TestFabricSendAfterCloseIsDropped(t *testing.T) {
+	col := newCollectingDeliver()
+	f, _ := testFabric(col)
+	f.Close()
+	f.Send("src[0]", topology.Instance{Task: "T", Index: 0}, &tuple.Event{ID: 1})
+	if f.Dropped() != 1 {
+		t.Fatalf("Dropped = %d after post-close send", f.Dropped())
+	}
+	f.Close() // idempotent
+}
+
+func TestFabricConcurrentSenders(t *testing.T) {
+	col := newCollectingDeliver()
+	f, _ := testFabric(col)
+	defer f.Close()
+	to := topology.Instance{Task: "T", Index: 0}
+	const senders = 8
+	const each = 100
+	var wg sync.WaitGroup
+	var idc atomic.Uint64
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			from := string(rune('a'+s)) + "[0]"
+			for i := 0; i < each; i++ {
+				f.Send(from, to, &tuple.Event{ID: tuple.ID(idc.Add(1)), Kind: tuple.Data})
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.events(to)) < senders*each {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", len(col.events(to)), senders*each)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+)
+
+// branched builds Src→{A,B}; A→SA; B→SB; {SA,SB}→Sink so one branch can
+// fail while the other keeps flowing.
+func branched() *topology.Topology {
+	b := topology.NewBuilder("t-branched")
+	b.AddSource("Src", 1)
+	b.AddTask("A", 1, true)
+	b.AddTask("B", 1, true)
+	b.AddTask("SA", 1, true)
+	b.AddTask("SB", 1, true)
+	b.AddSink("Sink", 1)
+	b.Connect("Src", "A", topology.Shuffle)
+	b.Connect("Src", "B", topology.Shuffle)
+	b.Connect("A", "SA", topology.Shuffle)
+	b.Connect("B", "SB", topology.Shuffle)
+	b.Connect("SA", "Sink", topology.Shuffle)
+	b.Connect("SB", "Sink", topology.Shuffle)
+	return b.MustBuild()
+}
+
+func TestCrashedExecutorDropsDeliveries(t *testing.T) {
+	h := newHarness(t, branched(), ModeDCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 40
+	})
+	if !h.eng.CrashExecutor(topology.Instance{Task: "B", Index: 0}) {
+		t.Fatal("CrashExecutor found no executor")
+	}
+	if h.eng.CrashExecutor(topology.Instance{Task: "B", Index: 0}) {
+		t.Fatal("double crash reported an executor")
+	}
+	// The other branch keeps delivering.
+	before := h.eng.Audit().SinkArrivals()
+	waitUntil(t, 5*time.Second, "surviving branch", func() bool {
+		return h.eng.Audit().SinkArrivals() > before+10
+	})
+	// Deliveries to the dead branch are counted as drops.
+	waitUntil(t, 5*time.Second, "drops", func() bool {
+		return h.eng.DroppedDeliveries() > 0
+	})
+}
+
+func TestCrashRecoveryWithAckingReplays(t *testing.T) {
+	h := newHarness(t, branched(), ModeDSM)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 40
+	})
+
+	// Checkpoint first so the restart has state to restore.
+	if err := h.eng.Coordinator().Checkpoint(checkpoint.Sequential, 2*time.Second); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	inst := topology.Instance{Task: "B", Index: 0}
+	h.eng.CrashExecutor(inst)
+	time.Sleep(50 * time.Millisecond) // outage: deliveries drop, trees fail
+	h.eng.RestartExecutor(inst)
+	if err := h.eng.Coordinator().RunWave(tuple.Init, checkpoint.Sequential, 20*time.Millisecond, 5*time.Second); err != nil {
+		t.Fatalf("init wave: %v", err)
+	}
+
+	// At-least-once: replays recover everything the crash dropped.
+	waitUntil(t, 10*time.Second, "replays", func() bool {
+		return h.eng.Collector().ReplayedCount() > 0
+	})
+	waitUntil(t, 20*time.Second, "full recovery", func() bool {
+		return len(h.eng.Audit().Lost(h.eng.Clock().Now().Add(-2*time.Second))) == 0
+	})
+}
+
+func TestPrepareTimeoutRollsBackAndResumes(t *testing.T) {
+	h := newHarness(t, branched(), ModeCCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 40
+	})
+
+	// Kill one task so the PREPARE wave cannot complete; pause sources as
+	// the strategy would.
+	h.eng.PauseSources()
+	h.eng.CrashExecutor(topology.Instance{Task: "SB", Index: 0})
+	err := h.eng.Coordinator().Checkpoint(checkpoint.Broadcast, 300*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("Checkpoint err = %v, want rolled-back failure", err)
+	}
+	h.eng.UnpauseSources()
+
+	// Rollback released the capture flags: the surviving branch processes
+	// its captured events and new flow resumes through it.
+	before := h.eng.Audit().SinkArrivals()
+	waitUntil(t, 10*time.Second, "post-rollback flow", func() bool {
+		return h.eng.Audit().SinkArrivals() > before+20
+	})
+}
+
+func TestStopIsIdempotentAndHaltsEverything(t *testing.T) {
+	h := newHarness(t, branched(), ModeDSM)
+	h.eng.Start()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+	h.eng.Stop()
+	h.eng.Stop() // idempotent
+	n := h.eng.Audit().SinkArrivals()
+	time.Sleep(50 * time.Millisecond)
+	if got := h.eng.Audit().SinkArrivals(); got != n {
+		t.Fatalf("sink advanced after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestRebalanceDuringStopDoesNotSpawn(t *testing.T) {
+	h := newHarness(t, branched(), ModeDCR)
+	h.eng.Start()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+	h.eng.OnMigrationRequested()
+	h.eng.Rebalance(h.newSchedule(t))
+	h.eng.Stop() // respawn timers must be cancelled or no-op after stop
+	time.Sleep(100 * time.Millisecond)
+	if got := h.eng.RunningExecutors(); got != 0 {
+		t.Fatalf("%d executors alive after Stop", got)
+	}
+}

@@ -1,0 +1,132 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// keyedTopo builds Src→P(3 instances, fields)→Sink and Src→G(2, global)
+// to exercise non-shuffle groupings end to end.
+func keyedTopo() *topology.Topology {
+	b := topology.NewBuilder("t-keyed")
+	b.AddSource("Src", 1)
+	b.AddTask("P", 3, true)
+	b.AddTask("G", 2, false)
+	b.AddSink("Sink", 1)
+	b.Connect("Src", "P", topology.Fields)
+	b.Connect("Src", "G", topology.Global)
+	b.Connect("P", "Sink", topology.Shuffle)
+	b.Connect("G", "Sink", topology.Shuffle)
+	return b.MustBuild()
+}
+
+func TestFieldsGroupingRoutesByKey(t *testing.T) {
+	h := newHarness(t, keyedTopo(), ModeDCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 60
+	})
+	h.eng.PauseSources()
+	time.Sleep(100 * time.Millisecond)
+
+	// Fields grouping spread load over all three P instances (keys are
+	// hashed payload sequence numbers, effectively uniform).
+	var counts []int64
+	var total int64
+	for i := 0; i < 3; i++ {
+		ex := h.eng.Executor(topology.Instance{Task: "P", Index: i})
+		n := ex.Logic().(*workload.CountLogic).Processed()
+		counts = append(counts, n)
+		total += n
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("P[%d] processed nothing under fields grouping (%v)", i, counts)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no events through P")
+	}
+}
+
+func TestFieldsGroupingIsDeterministicPerKey(t *testing.T) {
+	// The same key must always pick the same instance: verified through
+	// pickTarget directly.
+	h := newHarness(t, keyedTopo(), ModeDCR)
+	edge := topology.Edge{From: "Src", To: "P", Grouping: topology.Fields}
+	first := h.eng.pickTarget(edge, 12345)
+	for i := 0; i < 50; i++ {
+		if got := h.eng.pickTarget(edge, 12345); got != first {
+			t.Fatalf("fields grouping moved key: %v then %v", first, got)
+		}
+	}
+	// Different keys hit more than one instance.
+	seen := map[topology.Instance]bool{}
+	for k := uint64(0); k < 64; k++ {
+		seen[h.eng.pickTarget(edge, k)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("fields grouping used %d instances for 64 keys", len(seen))
+	}
+}
+
+func TestGlobalGroupingUsesInstanceZero(t *testing.T) {
+	h := newHarness(t, keyedTopo(), ModeDCR)
+	edge := topology.Edge{From: "Src", To: "G", Grouping: topology.Global}
+	for k := uint64(0); k < 32; k++ {
+		if got := h.eng.pickTarget(edge, k); got.Index != 0 {
+			t.Fatalf("global grouping picked %v", got)
+		}
+	}
+}
+
+func TestShuffleGroupingRoundRobins(t *testing.T) {
+	h := newHarness(t, keyedTopo(), ModeDCR)
+	edge := topology.Edge{From: "P", To: "Sink", Grouping: topology.Shuffle}
+	_ = edge
+	// Shuffle over a 3-instance task must cycle through all instances.
+	e2 := topology.Edge{From: "Src", To: "P", Grouping: topology.Shuffle}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		seen[h.eng.pickTarget(e2, 0).Index] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("shuffle visited %d of 3 instances", len(seen))
+	}
+}
+
+func TestExpectedSinkRateAndFanout(t *testing.T) {
+	h := newHarness(t, keyedTopo(), ModeDCR)
+	// Sink receives P(8/s via fields from the 8/s... source rate is the
+	// test config's 100/s) + G: rate = 2 × source rate.
+	if got := h.eng.Fanout(); got != 2 {
+		t.Fatalf("fanout = %d, want 2", got)
+	}
+}
+
+func TestStatelessTaskForwardsWavesWithoutAcking(t *testing.T) {
+	// G is stateless: it must not appear among expected ackers, yet data
+	// flows through it (covered by the flow tests above).
+	h := newHarness(t, keyedTopo(), ModeDCR)
+	tr := (*engineTransport)(h.eng)
+	for _, key := range tr.ExpectedAckers() {
+		if key == "G[0]" || key == "G[1]" {
+			t.Fatalf("stateless instance %s expected to ack", key)
+		}
+	}
+	// P is stateful: present.
+	found := false
+	for _, key := range tr.ExpectedAckers() {
+		if key == "P[0]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stateful P[0] missing from expected ackers")
+	}
+}

@@ -1,0 +1,255 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/acker"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Source is a source task instance. An external generator goroutine
+// produces payloads at the configured rate into a backlog (the upstream
+// stream does not stop when the dataflow pauses); an emitter goroutine
+// drains the backlog into the dataflow, pausing on demand and bounding
+// the post-unpause burst rate.
+//
+// Under DSM the source also implements Storm's reliable-spout contract:
+// every emitted root is cached until its causal tree completes; trees
+// failed by the ack timeout are re-emitted with Replayed set.
+type Source struct {
+	eng  *Engine
+	inst topology.Instance
+
+	mu      sync.Mutex
+	wake    *sync.Cond
+	backlog []workload.Payload
+	replays []replayItem
+	paused  bool
+	stopped bool
+	seq     int64
+
+	cacheMu sync.Mutex
+	cache   map[tuple.ID]*tuple.Event
+}
+
+// replayItem is a failed payload awaiting re-emission through the emit
+// loop (Storm replays failed tuples via the spout's nextTuple path, paced
+// like any other emission — not as an instantaneous burst from the
+// acker's timer).
+type replayItem struct {
+	payload      workload.Payload
+	rootEmit     time.Time
+	preMigration bool
+}
+
+func newSource(eng *Engine, inst topology.Instance) *Source {
+	s := &Source{eng: eng, inst: inst, cache: make(map[tuple.ID]*tuple.Event)}
+	s.wake = sync.NewCond(&s.mu)
+	return s
+}
+
+// start launches the generator and emitter goroutines.
+func (s *Source) start() {
+	s.eng.wg.Add(2)
+	go s.generate()
+	go s.emitLoop()
+}
+
+// generate produces payloads at SourceRate into the backlog, pacing
+// against absolute deadlines so the long-run rate is exact even under a
+// heavily compressed clock.
+func (s *Source) generate() {
+	defer s.eng.wg.Done()
+	interval := time.Duration(float64(time.Second) / s.eng.cfg.SourceRate)
+	next := s.eng.clock.Now()
+	for {
+		next = next.Add(interval)
+		timex.SleepUntil(s.eng.clock, next)
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		s.seq++
+		s.backlog = append(s.backlog, workload.Payload{Seq: s.seq, Body: "obs"})
+		s.wake.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// emitLoop drains the backlog into the dataflow. When a backlog has built
+// up behind a pause, it is drained at SourceBurstRate — the bounded input
+// spike visible in the paper's Fig. 7b/c timelines.
+func (s *Source) emitLoop() {
+	defer s.eng.wg.Done()
+	burstGap := time.Duration(float64(time.Second) / s.eng.cfg.SourceBurstRate)
+	var nextBurst time.Time
+	for {
+		s.mu.Lock()
+		for (len(s.backlog) == 0 && len(s.replays) == 0 || s.paused) && !s.stopped {
+			s.wake.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		// Failed trees re-emit ahead of new payloads, as a reliable spout
+		// drains its fail backlog first.
+		var rep replayItem
+		isReplay := len(s.replays) > 0
+		if isReplay {
+			rep = s.replays[0]
+			s.replays = s.replays[1:]
+		} else {
+			rep = replayItem{payload: s.backlog[0]}
+			s.backlog = s.backlog[1:]
+		}
+		backlogged := len(s.backlog) > 0 || len(s.replays) > 0
+		s.mu.Unlock()
+
+		if isReplay {
+			s.emitRoot(rep.payload, true, rep.rootEmit, rep.preMigration)
+		} else {
+			s.waitForPendingSlot() // flow control applies to new roots only
+			s.emitRoot(rep.payload, false, s.eng.clock.Now(), !s.eng.migrationRequested())
+		}
+		if backlogged {
+			// Deadline-paced burst drain at SourceBurstRate.
+			now := s.eng.clock.Now()
+			if nextBurst.Before(now) {
+				nextBurst = now
+			}
+			nextBurst = nextBurst.Add(burstGap)
+			timex.SleepUntil(s.eng.clock, nextBurst)
+		} else {
+			nextBurst = time.Time{}
+		}
+	}
+}
+
+// waitForPendingSlot applies max-spout-pending flow control: with acking
+// on, new roots are held back while too many trees are unacked, so an
+// outage cannot snowball into a replay storm. Replays are exempt — they
+// re-emit trees that are already pending.
+func (s *Source) waitForPendingSlot() {
+	cap := s.eng.cfg.MaxSpoutPending
+	if cap <= 0 || !s.eng.cfg.AckDataEvents() {
+		return
+	}
+	for s.PendingCached() >= cap {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+		s.eng.clock.Sleep(250 * time.Millisecond)
+	}
+}
+
+// emitRoot emits one payload as a fresh causal root and routes it to the
+// first task layer.
+func (s *Source) emitRoot(p workload.Payload, replayed bool, rootEmit time.Time, preMigration bool) {
+	id := s.eng.idgen.Next()
+	ev := &tuple.Event{
+		ID:           id,
+		Root:         id,
+		Kind:         tuple.Data,
+		SrcTask:      s.inst.Task,
+		SrcInstance:  s.inst.Index,
+		Key:          hash64(uint64(p.Seq)),
+		Value:        p,
+		RootEmit:     rootEmit,
+		Replayed:     replayed,
+		PreMigration: preMigration,
+	}
+	if s.eng.cfg.AckDataEvents() {
+		s.cacheMu.Lock()
+		s.cache[id] = ev
+		s.cacheMu.Unlock()
+		s.eng.ack.Register(id, s.onOutcome)
+	}
+	s.eng.collector.SourceEmit(replayed)
+	s.eng.audit.RecordEmit(p.Seq, s.eng.clock.Now())
+	s.eng.routeFromSource(s.inst, ev)
+	if s.eng.cfg.AckDataEvents() {
+		// The spout's own contribution to the tree: children are anchored
+		// by routeFromSource before this ack, as a task would.
+		s.eng.ack.Ack(id, id)
+	}
+}
+
+// onOutcome handles the acker's verdict on a cached root.
+func (s *Source) onOutcome(root tuple.ID, outcome acker.Outcome) {
+	s.cacheMu.Lock()
+	orig, ok := s.cache[root]
+	delete(s.cache, root)
+	s.cacheMu.Unlock()
+	if !ok || outcome != acker.TimedOut {
+		return
+	}
+	// Queue the failed payload for re-emission through the emit loop,
+	// keeping the original emission timestamp (complete latency) and
+	// migration epoch.
+	p, okP := orig.Value.(workload.Payload)
+	if !okP {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.replays = append(s.replays, replayItem{payload: p, rootEmit: orig.RootEmit, preMigration: orig.PreMigration})
+	s.wake.Signal()
+}
+
+// Pause stops emissions; the generator keeps filling the backlog.
+func (s *Source) Pause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = true
+}
+
+// Unpause resumes emissions, draining any backlog at the burst rate.
+func (s *Source) Unpause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = false
+	s.wake.Broadcast()
+}
+
+// PendingCached reports roots still cached (in flight or awaiting verdict).
+func (s *Source) PendingCached() int {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return len(s.cache)
+}
+
+// Backlog reports payloads generated but not yet emitted.
+func (s *Source) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backlog)
+}
+
+// stop halts both goroutines.
+func (s *Source) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.wake.Broadcast()
+	s.mu.Unlock()
+}
+
+// hash64 is the splitmix64 finalizer used for key hashing in fields
+// grouping and payload key assignment.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,178 @@
+// Package scheduler maps task instances onto cluster slots and computes
+// the migration set between two schedules.
+//
+// Storm's default scheduler assigns instances round-robin over available
+// slots; the paper uses it for both the initial deployment and the
+// post-rebalance placement. A resource-aware scheduler in the spirit of
+// R-Storm (Peng et al., cited as the paper's [3]) is also provided: it
+// packs instances onto as few VMs as possible while respecting per-slot
+// capacity, improving locality.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// Schedule is an immutable assignment of instances to slots.
+type Schedule struct {
+	assign map[topology.Instance]cluster.SlotRef
+}
+
+// NewSchedule wraps an assignment map (copied).
+func NewSchedule(assign map[topology.Instance]cluster.SlotRef) *Schedule {
+	cp := make(map[topology.Instance]cluster.SlotRef, len(assign))
+	for k, v := range assign {
+		cp[k] = v
+	}
+	return &Schedule{assign: cp}
+}
+
+// Slot returns the slot assigned to inst.
+func (s *Schedule) Slot(inst topology.Instance) (cluster.SlotRef, bool) {
+	ref, ok := s.assign[inst]
+	return ref, ok
+}
+
+// Instances returns all scheduled instances, sorted by task then index for
+// deterministic iteration.
+func (s *Schedule) Instances() []topology.Instance {
+	out := make([]topology.Instance, 0, len(s.assign))
+	for inst := range s.assign {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Len returns the number of scheduled instances.
+func (s *Schedule) Len() int { return len(s.assign) }
+
+// VMsUsed returns the distinct VM IDs hosting at least one instance.
+func (s *Schedule) VMsUsed() []string {
+	seen := make(map[string]bool)
+	for _, ref := range s.assign {
+		seen[ref.VM] = true
+	}
+	out := make([]string, 0, len(seen))
+	for vm := range seen {
+		out = append(out, vm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks that no slot hosts more than one instance (each slot is
+// one dedicated core in the paper's setup).
+func (s *Schedule) Validate() error {
+	used := make(map[cluster.SlotRef]topology.Instance, len(s.assign))
+	for inst, ref := range s.assign {
+		if prev, clash := used[ref]; clash {
+			return fmt.Errorf("scheduler: slot %s assigned to both %s and %s", ref, prev, inst)
+		}
+		used[ref] = inst
+	}
+	return nil
+}
+
+// Diff returns the instances whose slot changes from old to new: the
+// migration set enacted by the strategies. Instances present in only one
+// schedule are included as well.
+func Diff(old, new *Schedule) []topology.Instance {
+	var out []topology.Instance
+	for _, inst := range old.Instances() {
+		oldRef, _ := old.Slot(inst)
+		newRef, ok := new.Slot(inst)
+		if !ok || oldRef != newRef {
+			out = append(out, inst)
+		}
+	}
+	for _, inst := range new.Instances() {
+		if _, ok := old.Slot(inst); !ok {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Scheduler places instances onto slots.
+type Scheduler interface {
+	// Name identifies the policy.
+	Name() string
+	// Place assigns every instance to one slot from slots.
+	Place(instances []topology.Instance, slots []cluster.SlotRef) (*Schedule, error)
+}
+
+// RoundRobin is Storm's default scheduler: instance i goes to slot
+// i mod len(slots)... except slots may not be reused in this model (one
+// core per instance), so it walks the slot list in order.
+type RoundRobin struct{}
+
+var _ Scheduler = RoundRobin{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Scheduler. It walks VMs in order, assigning one
+// instance per slot, wrapping across VMs — Storm's even round-robin
+// placement over the slot pool.
+func (RoundRobin) Place(instances []topology.Instance, slots []cluster.SlotRef) (*Schedule, error) {
+	if len(instances) > len(slots) {
+		return nil, fmt.Errorf("scheduler: %d instances exceed %d slots", len(instances), len(slots))
+	}
+	// Interleave across VMs: sort slots by (slot index, VM) so the first
+	// pass hits slot 0 of every VM, then slot 1, etc. This mirrors Storm's
+	// round-robin distribution that spreads load across supervisors.
+	ordered := make([]cluster.SlotRef, len(slots))
+	copy(ordered, slots)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Slot != ordered[j].Slot {
+			return ordered[i].Slot < ordered[j].Slot
+		}
+		return false // preserve VM order within a slot rank
+	})
+	assign := make(map[topology.Instance]cluster.SlotRef, len(instances))
+	for i, inst := range instances {
+		assign[inst] = ordered[i]
+	}
+	s := NewSchedule(assign)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResourceAware packs instances onto as few VMs as possible (first-fit
+// over VMs in slot order), improving locality at the cost of less
+// spreading — the R-Storm-style alternative.
+type ResourceAware struct{}
+
+var _ Scheduler = ResourceAware{}
+
+// Name implements Scheduler.
+func (ResourceAware) Name() string { return "resource-aware" }
+
+// Place implements Scheduler: fills each VM's slots completely before
+// moving to the next VM.
+func (ResourceAware) Place(instances []topology.Instance, slots []cluster.SlotRef) (*Schedule, error) {
+	if len(instances) > len(slots) {
+		return nil, fmt.Errorf("scheduler: %d instances exceed %d slots", len(instances), len(slots))
+	}
+	assign := make(map[topology.Instance]cluster.SlotRef, len(instances))
+	for i, inst := range instances {
+		assign[inst] = slots[i] // slots are already VM-major ordered
+	}
+	s := NewSchedule(assign)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

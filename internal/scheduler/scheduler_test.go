@@ -1,0 +1,159 @@
+package scheduler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/timex"
+	"repro/internal/topology"
+)
+
+func instances(n int) []topology.Instance {
+	out := make([]topology.Instance, n)
+	for i := range out {
+		out[i] = topology.Instance{Task: "T", Index: i}
+	}
+	return out
+}
+
+func slotsFor(t cluster.VMType, vms int) []cluster.SlotRef {
+	c := cluster.New()
+	c.Provision(t, vms, timex.Epoch)
+	return c.UnpinnedSlots()
+}
+
+func TestRoundRobinSpreadsAcrossVMs(t *testing.T) {
+	slots := slotsFor(cluster.D2, 3) // 6 slots on 3 VMs
+	sched, err := RoundRobin{}.Place(instances(3), slots)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	// First pass should use slot 0 of vm-0, vm-1, vm-2.
+	vms := sched.VMsUsed()
+	if len(vms) != 3 {
+		t.Fatalf("round-robin used %d VMs for 3 instances on 3 VMs, want 3: %v", len(vms), vms)
+	}
+}
+
+func TestResourceAwarePacksVMs(t *testing.T) {
+	slots := slotsFor(cluster.D2, 3)
+	sched, err := ResourceAware{}.Place(instances(3), slots)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	vms := sched.VMsUsed()
+	if len(vms) != 2 {
+		t.Fatalf("resource-aware used %d VMs for 3 instances on 2-slot VMs, want 2: %v", len(vms), vms)
+	}
+}
+
+func TestPlaceRejectsOvercommit(t *testing.T) {
+	slots := slotsFor(cluster.D1, 2)
+	for _, s := range []Scheduler{RoundRobin{}, ResourceAware{}} {
+		if _, err := s.Place(instances(3), slots); err == nil {
+			t.Errorf("%s accepted 3 instances on 2 slots", s.Name())
+		}
+	}
+}
+
+func TestScheduleValidateDetectsClash(t *testing.T) {
+	ref := cluster.SlotRef{VM: "vm-0", Slot: 0}
+	s := NewSchedule(map[topology.Instance]cluster.SlotRef{
+		{Task: "A", Index: 0}: ref,
+		{Task: "B", Index: 0}: ref,
+	})
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted a double-booked slot")
+	}
+}
+
+func TestDiffFindsMigrations(t *testing.T) {
+	a := topology.Instance{Task: "A", Index: 0}
+	b := topology.Instance{Task: "B", Index: 0}
+	c := topology.Instance{Task: "C", Index: 0}
+	old := NewSchedule(map[topology.Instance]cluster.SlotRef{
+		a: {VM: "vm-0", Slot: 0},
+		b: {VM: "vm-0", Slot: 1},
+		c: {VM: "vm-1", Slot: 0},
+	})
+	new := NewSchedule(map[topology.Instance]cluster.SlotRef{
+		a: {VM: "vm-0", Slot: 0}, // unchanged
+		b: {VM: "vm-2", Slot: 0}, // moved
+		c: {VM: "vm-2", Slot: 1}, // moved
+	})
+	diff := Diff(old, new)
+	if len(diff) != 2 {
+		t.Fatalf("Diff = %v, want 2 migrations", diff)
+	}
+	for _, inst := range diff {
+		if inst == a {
+			t.Fatal("unchanged instance in migration set")
+		}
+	}
+}
+
+func TestDiffHandlesAddedAndRemoved(t *testing.T) {
+	a := topology.Instance{Task: "A", Index: 0}
+	b := topology.Instance{Task: "B", Index: 0}
+	old := NewSchedule(map[topology.Instance]cluster.SlotRef{a: {VM: "vm-0", Slot: 0}})
+	new := NewSchedule(map[topology.Instance]cluster.SlotRef{b: {VM: "vm-1", Slot: 0}})
+	diff := Diff(old, new)
+	if len(diff) != 2 {
+		t.Fatalf("Diff = %v, want both the removed and the added instance", diff)
+	}
+}
+
+func TestScheduleInstancesDeterministic(t *testing.T) {
+	s := NewSchedule(map[topology.Instance]cluster.SlotRef{
+		{Task: "B", Index: 1}: {VM: "vm-0", Slot: 0},
+		{Task: "A", Index: 1}: {VM: "vm-0", Slot: 1},
+		{Task: "A", Index: 0}: {VM: "vm-1", Slot: 0},
+	})
+	got := s.Instances()
+	if got[0].String() != "A[0]" || got[1].String() != "A[1]" || got[2].String() != "B[1]" {
+		t.Fatalf("Instances order: %v", got)
+	}
+}
+
+// Property: both schedulers produce valid schedules (no slot clash, all
+// instances placed) whenever capacity suffices, and the paper's Table 1
+// VM counts hold: ceil(instances/slotsPerVM) VMs are enough.
+func TestSchedulersValidProperty(t *testing.T) {
+	f := func(nInst uint8, vmKind uint8) bool {
+		n := int(nInst%24) + 1
+		var vt cluster.VMType
+		switch vmKind % 3 {
+		case 0:
+			vt = cluster.D1
+		case 1:
+			vt = cluster.D2
+		default:
+			vt = cluster.D3
+		}
+		vms := (n + vt.Slots - 1) / vt.Slots // ceil, as in Table 1
+		slots := slotsFor(vt, vms)
+		for _, s := range []Scheduler{RoundRobin{}, ResourceAware{}} {
+			sched, err := s.Place(instances(n), slots)
+			if err != nil {
+				return false
+			}
+			if sched.Len() != n || sched.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (RoundRobin{}).Name() != "round-robin" {
+		t.Error("RoundRobin name")
+	}
+	if (ResourceAware{}).Name() != "resource-aware" {
+		t.Error("ResourceAware name")
+	}
+}

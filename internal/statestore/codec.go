@@ -1,0 +1,24 @@
+package statestore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Encode serializes v with encoding/gob for storage.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("statestore: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes data produced by Encode into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("statestore: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package statestore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/timex"
+)
+
+func TestServerSetGetDelete(t *testing.T) {
+	s := NewServer()
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+	s.Set("a", []byte("hello"))
+	v, ok := s.Get("a")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	s.Set("a", []byte("world"))
+	if v, _ := s.Get("a"); string(v) != "world" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get after Delete returned ok")
+	}
+	s.Delete("a") // idempotent
+}
+
+func TestServerCopiesValues(t *testing.T) {
+	s := NewServer()
+	in := []byte("abc")
+	s.Set("k", in)
+	in[0] = 'z'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("Set did not copy the value")
+	}
+	v[0] = 'q'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("Get did not copy the value")
+	}
+}
+
+func TestServerKeysPrefix(t *testing.T) {
+	s := NewServer()
+	s.Set("grid/A[0]/ckpt", nil)
+	s.Set("grid/B[0]/ckpt", nil)
+	s.Set("linear/A[0]/ckpt", nil)
+	got := s.Keys("grid/")
+	want := []string{"grid/A[0]/ckpt", "grid/B[0]/ckpt"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	s := NewServer()
+	s.Set("k", make([]byte, 100))
+	s.Get("k")
+	s.Delete("k")
+	st := s.Stats()
+	if st.Ops != 3 {
+		t.Errorf("Ops = %d, want 3", st.Ops)
+	}
+	if st.BytesWritten != 100 || st.BytesRead != 100 {
+		t.Errorf("bytes = %d/%d, want 100/100", st.BytesWritten, st.BytesRead)
+	}
+	if st.Keys != 0 {
+		t.Errorf("Keys = %d, want 0", st.Keys)
+	}
+}
+
+func TestServerConcurrent(t *testing.T) {
+	s := NewServer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d/k%d", w, i)
+				s.Set(key, []byte{byte(i)})
+				if v, ok := s.Get(key); !ok || v[0] != byte(i) {
+					t.Errorf("lost write %s", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d, want 1600", s.Len())
+	}
+}
+
+func TestLatencyModelCost(t *testing.T) {
+	m := LatencyModel{RoundTrip: time.Millisecond, BytesPerSecond: 1000}
+	if got := m.Cost(0); got != time.Millisecond {
+		t.Errorf("Cost(0) = %v", got)
+	}
+	if got := m.Cost(1000); got != time.Millisecond+time.Second {
+		t.Errorf("Cost(1000) = %v", got)
+	}
+	free := LatencyModel{}
+	if got := free.Cost(1 << 20); got != 0 {
+		t.Errorf("zero model Cost = %v", got)
+	}
+}
+
+func TestDefaultLatencyMatchesPaperMicrobench(t *testing.T) {
+	// Paper: checkpointing 2000 events to Redis takes ≈100 ms. Assume
+	// ~50 bytes per captured event in one batched write.
+	m := DefaultLatency()
+	got := m.Cost(2000 * 50)
+	if got < 50*time.Millisecond || got > 200*time.Millisecond {
+		t.Fatalf("2000-event checkpoint modeled at %v, want ≈100ms", got)
+	}
+}
+
+func TestClientChargesLatency(t *testing.T) {
+	server := NewServer()
+	clock := timex.NewScaled(0.01) // 10ms paper = 0.1ms wall
+	c := NewClient(server, clock, LatencyModel{RoundTrip: 10 * time.Millisecond})
+	t0 := clock.Now()
+	c.Set("k", []byte("v"))
+	if elapsed := clock.Since(t0); elapsed < 10*time.Millisecond {
+		t.Fatalf("Set charged only %v of paper time", elapsed)
+	}
+	t1 := clock.Now()
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("Get lost value")
+	}
+	if elapsed := clock.Since(t1); elapsed < 10*time.Millisecond {
+		t.Fatalf("Get charged only %v of paper time", elapsed)
+	}
+	c.Delete("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Delete did not remove key")
+	}
+}
+
+func TestCheckpointKey(t *testing.T) {
+	got := CheckpointKey("grid", "J1[2]")
+	if got != "grid/J1[2]/ckpt" {
+		t.Fatalf("CheckpointKey = %q", got)
+	}
+}
+
+type payload struct {
+	Count   int
+	Window  []int64
+	ByKey   map[string]int
+	Label   string
+	Nested  *payload
+	Flagged bool
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := payload{
+		Count:  42,
+		Window: []int64{1, 2, 3},
+		ByKey:  map[string]int{"a": 1, "b": 2},
+		Label:  "state",
+		Nested: &payload{Count: 7},
+	}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var out payload
+	if err := Decode(data, &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Count != 42 || out.Label != "state" || len(out.Window) != 3 ||
+		out.ByKey["b"] != 2 || out.Nested == nil || out.Nested.Count != 7 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeError(t *testing.T) {
+	var out payload
+	if err := Decode([]byte("not gob"), &out); err == nil {
+		t.Fatal("Decode of garbage succeeded")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary byte slices and counters
+// stored through the client against the server.
+func TestStoreRoundTripProperty(t *testing.T) {
+	server := NewServer()
+	clock := timex.NewScaled(0.001)
+	client := NewClient(server, clock, LatencyModel{})
+	f := func(key string, val []byte, count int64) bool {
+		if key == "" {
+			key = "k"
+		}
+		type rec struct {
+			Val   []byte
+			Count int64
+		}
+		data, err := Encode(rec{Val: val, Count: count})
+		if err != nil {
+			return false
+		}
+		client.Set(key, data)
+		back, ok := client.Get(key)
+		if !ok {
+			return false
+		}
+		var out rec
+		if err := Decode(back, &out); err != nil {
+			return false
+		}
+		return out.Count == count && len(out.Val) == len(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

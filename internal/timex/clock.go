@@ -1,0 +1,69 @@
+// Package timex provides the clock abstraction used by the entire runtime.
+//
+// All protocol constants in this repository (task latency, ack timeouts,
+// checkpoint intervals, worker start delays) are expressed in *paper time*
+// — the time units of the original Azure testbed. A Clock decides how paper
+// time maps onto execution:
+//
+//   - RealClock executes paper time 1:1 (useful for demos).
+//   - ScaledClock compresses paper time by a constant factor so a
+//     12-minute experiment runs in seconds while preserving every ratio
+//     between protocol constants.
+//   - ManualClock is fully virtual and advanced explicitly by tests.
+//
+// Components must never call time.Now/time.Sleep directly; they receive a
+// Clock and speak paper time throughout. Metrics are therefore reported in
+// paper time with no conversion.
+package timex
+
+import "time"
+
+// Clock is the time source for the runtime. Durations passed in and
+// returned are in paper time.
+type Clock interface {
+	// Now returns the current paper-time instant.
+	Now() time.Time
+	// Sleep blocks for d of paper time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the paper-time instant after d
+	// of paper time has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run after d of paper time. The returned
+	// Timer can cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Since returns the paper time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Timer is a cancellable pending call scheduled with AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call was prevented
+	// from running (false if it already ran or was stopped).
+	Stop() bool
+}
+
+// Epoch is the paper-time origin used by scaled and manual clocks. Using a
+// fixed epoch keeps experiment timelines reproducible and makes timestamps
+// trivially comparable across runs.
+var Epoch = time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// SleepUntil blocks until the clock reaches t (no-op if already past).
+//
+// Rate-controlled loops must pace against absolute deadlines, not
+// relative sleeps: under a compressed clock a paper-time interval can map
+// to a wall sleep of a few milliseconds, where the OS timer's oversleep
+// (hundreds of microseconds to >1 ms, kernel-dependent) is a visible
+// fraction. Absolute deadlines make the long-run rate exact, and the
+// ScaledClock additionally spin-waits the final stretch so individual
+// deadlines are met precisely — without it, every 2 ms scaled task sleep
+// silently costs ~3 ms of wall time and per-hop latency inflates by tens
+// of paper-milliseconds.
+func SleepUntil(c Clock, t time.Time) {
+	if sc, ok := c.(*ScaledClock); ok {
+		sc.SleepUntil(t)
+		return
+	}
+	if d := t.Sub(c.Now()); d > 0 {
+		c.Sleep(d)
+	}
+}

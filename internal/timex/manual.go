@@ -1,0 +1,164 @@
+package timex
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// ManualClock is a fully virtual clock for deterministic unit tests. Time
+// only moves when Advance is called; pending timers whose deadlines are
+// reached fire synchronously, in deadline order, on the advancing
+// goroutine. Sleep blocks the caller until another goroutine advances the
+// clock past the deadline.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    int // tie-break so equal deadlines fire FIFO
+}
+
+var _ Clock = (*ManualClock)(nil)
+
+// NewManual returns a ManualClock positioned at Epoch.
+func NewManual() *ManualClock {
+	return &ManualClock{now: Epoch}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock. It blocks until the clock is advanced past d.
+func (c *ManualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	done := make(chan struct{})
+	c.AfterFunc(d, func() { close(done) })
+	<-done
+}
+
+// After implements Clock.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.AfterFunc(d, func() {
+		ch <- c.Now()
+	})
+	return ch
+}
+
+// AfterFunc implements Clock. If d <= 0, f runs synchronously.
+func (c *ManualClock) AfterFunc(d time.Duration, f func()) Timer {
+	if d <= 0 {
+		f()
+		return stoppedTimer{}
+	}
+	c.mu.Lock()
+	mt := &manualTimer{
+		clock:    c,
+		deadline: c.now.Add(d),
+		fn:       f,
+		seq:      c.seq,
+	}
+	c.seq++
+	heap.Push(&c.timers, mt)
+	c.mu.Unlock()
+	return mt
+}
+
+// Since implements Clock.
+func (c *ManualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Advance moves the clock forward by d, firing due timers in deadline
+// order. Timer callbacks run on the calling goroutine with the clock set
+// to their exact deadline, so cascading AfterFunc chains fire correctly
+// within a single Advance.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		if len(c.timers) == 0 || c.timers[0].deadline.After(target) {
+			break
+		}
+		mt := heap.Pop(&c.timers).(*manualTimer)
+		if mt.stopped {
+			continue
+		}
+		c.now = mt.deadline
+		c.mu.Unlock()
+		mt.fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// PendingTimers reports how many unfired, unstopped timers are queued.
+func (c *ManualClock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type manualTimer struct {
+	clock    *ManualClock
+	deadline time.Time
+	fn       func()
+	seq      int
+	index    int
+	stopped  bool
+}
+
+func (t *manualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+type stoppedTimer struct{}
+
+func (stoppedTimer) Stop() bool { return false }
+
+// timerHeap orders timers by (deadline, seq).
+type timerHeap []*manualTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*manualTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

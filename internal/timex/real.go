@@ -1,0 +1,32 @@
+package timex
+
+import "time"
+
+// RealClock executes paper time against the wall clock 1:1.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// NewReal returns a Clock backed directly by the time package.
+func NewReal() RealClock { return RealClock{} }
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (RealClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+// Since implements Clock.
+func (RealClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }

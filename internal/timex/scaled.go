@@ -1,0 +1,96 @@
+package timex
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ScaledClock compresses paper time by a constant factor: a paper-time
+// duration d executes in d*Scale of wall time. Scale 0.02 runs a 12-minute
+// experiment in ~14 seconds while keeping every protocol ratio intact.
+//
+// Now() reports paper time: Epoch + wallElapsed/Scale. Sub-resolution
+// sleeps (whose scaled wall duration is below a few hundred microseconds)
+// are still issued; the Go runtime's timer granularity introduces small
+// absolute noise which is negligible relative to the 100 ms task latency.
+type ScaledClock struct {
+	scale float64
+	start time.Time // wall-clock instant corresponding to Epoch
+}
+
+var _ Clock = (*ScaledClock)(nil)
+
+// NewScaled returns a clock that compresses paper time by scale
+// (0 < scale <= 1). scale=1 behaves like RealClock with a virtual epoch.
+func NewScaled(scale float64) *ScaledClock {
+	if scale <= 0 {
+		panic(fmt.Sprintf("timex: non-positive scale %v", scale))
+	}
+	return &ScaledClock{scale: scale, start: time.Now()}
+}
+
+// Scale returns the compression factor.
+func (c *ScaledClock) Scale() float64 { return c.scale }
+
+// Now implements Clock.
+func (c *ScaledClock) Now() time.Time {
+	wall := time.Since(c.start)
+	return Epoch.Add(time.Duration(float64(wall) / c.scale))
+}
+
+// Sleep implements Clock.
+func (c *ScaledClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(c.toWall(d))
+}
+
+// After implements Clock.
+func (c *ScaledClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	time.AfterFunc(c.toWall(d), func() { ch <- c.Now() })
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (c *ScaledClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(c.toWall(d), f)}
+}
+
+// Since implements Clock.
+func (c *ScaledClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// spinWindow is the wall-time horizon within which SleepUntil busy-waits
+// instead of sleeping: it must exceed the OS timer's worst observed
+// oversleep so the coarse sleep never overshoots the deadline.
+const spinWindow = 1800 * time.Microsecond
+
+// SleepUntil blocks until paper time t with sub-oversleep precision: the
+// bulk of the wait uses the OS timer, the final spinWindow is spun (with
+// scheduler yields), so rate-controlled loops see exact deadlines.
+func (c *ScaledClock) SleepUntil(t time.Time) {
+	for {
+		remaining := t.Sub(c.Now())
+		if remaining <= 0 {
+			return
+		}
+		wall := c.toWall(remaining)
+		if wall > spinWindow {
+			time.Sleep(wall - spinWindow)
+			continue
+		}
+		for t.Sub(c.Now()) > 0 {
+			runtime.Gosched()
+		}
+		return
+	}
+}
+
+func (c *ScaledClock) toWall(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * c.scale)
+}

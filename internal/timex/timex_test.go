@@ -1,0 +1,198 @@
+package timex
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScaledClockCompressesSleep(t *testing.T) {
+	c := NewScaled(0.01)
+	wallStart := time.Now()
+	c.Sleep(500 * time.Millisecond) // paper time
+	wall := time.Since(wallStart)
+	if wall > 200*time.Millisecond {
+		t.Fatalf("scaled sleep took %v wall time, want ~5ms", wall)
+	}
+	if got := c.Since(Epoch); got < 400*time.Millisecond {
+		t.Fatalf("paper time advanced only %v, want >=400ms", got)
+	}
+}
+
+func TestScaledClockNowMonotonic(t *testing.T) {
+	c := NewScaled(0.05)
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		now := c.Now()
+		if now.Before(prev) {
+			t.Fatalf("clock went backwards: %v -> %v", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestScaledClockAfterFunc(t *testing.T) {
+	c := NewScaled(0.01)
+	var fired atomic.Bool
+	c.AfterFunc(100*time.Millisecond, func() { fired.Store(true) })
+	time.Sleep(50 * time.Millisecond) // generous wall-time wait (1ms scaled)
+	if !fired.Load() {
+		t.Fatal("AfterFunc did not fire")
+	}
+}
+
+func TestScaledClockAfterFuncStop(t *testing.T) {
+	c := NewScaled(1)
+	var fired atomic.Bool
+	tm := c.AfterFunc(10*time.Second, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestScaledClockPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScaled(0) did not panic")
+		}
+	}()
+	NewScaled(0)
+}
+
+func TestManualClockAdvanceFiresInOrder(t *testing.T) {
+	c := NewManual()
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("timers fired in order %v, want [1 2 3]", order)
+	}
+	if got := c.Since(Epoch); got != 5*time.Second {
+		t.Fatalf("Since(Epoch) = %v, want 5s", got)
+	}
+}
+
+func TestManualClockFIFOForEqualDeadlines(t *testing.T) {
+	c := NewManual()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-deadline timers fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestManualClockCascadingTimers(t *testing.T) {
+	c := NewManual()
+	var fired []time.Duration
+	c.AfterFunc(time.Second, func() {
+		fired = append(fired, c.Since(Epoch))
+		c.AfterFunc(time.Second, func() {
+			fired = append(fired, c.Since(Epoch))
+		})
+	})
+	c.Advance(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("cascaded timer chain fired %d times, want 2", len(fired))
+	}
+	if fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("cascade fired at %v, want [1s 2s]", fired)
+	}
+}
+
+func TestManualClockStop(t *testing.T) {
+	c := NewManual()
+	var fired bool
+	tm := c.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestManualClockSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewManual()
+	var wg sync.WaitGroup
+	released := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Sleep(time.Second)
+		close(released)
+	}()
+	// Give the sleeper a moment to register its timer.
+	for c.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Second)
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+	wg.Wait()
+}
+
+func TestManualClockAfterFuncZeroRunsNow(t *testing.T) {
+	c := NewManual()
+	ran := false
+	c.AfterFunc(0, func() { ran = true })
+	if !ran {
+		t.Fatal("AfterFunc(0) did not run synchronously")
+	}
+}
+
+// Property: for any sequence of positive delays, advancing the manual
+// clock by their sum fires all timers, and paper time equals the sum.
+func TestManualClockAdvanceProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		c := NewManual()
+		var total time.Duration
+		var fired atomic.Int64
+		for _, ms := range delaysMs {
+			d := time.Duration(ms%1000+1) * time.Millisecond
+			total += d
+			c.AfterFunc(d, func() { fired.Add(1) })
+		}
+		c.Advance(total)
+		return fired.Load() == int64(len(delaysMs)) && c.Since(Epoch) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After channel never fired")
+	}
+}

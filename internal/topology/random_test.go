@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random layered dataflow: a source, 1-5 layers of 1-4
+// tasks, every task wired to at least one task of the next layer, a sink
+// fed by the last layer. Construction guarantees validity; the property
+// tests assert the topology invariants hold on every shape.
+func randomDAG(seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("rand-%d", seed))
+	b.AddSource("Src", 1)
+
+	layers := rng.Intn(5) + 1
+	prev := []string{"Src"}
+	id := 0
+	for l := 0; l < layers; l++ {
+		width := rng.Intn(4) + 1
+		var cur []string
+		for w := 0; w < width; w++ {
+			name := fmt.Sprintf("T%d", id)
+			id++
+			b.AddTask(name, rng.Intn(3)+1, rng.Intn(2) == 0)
+			cur = append(cur, name)
+		}
+		// Every current task gets at least one feeder from prev; every
+		// prev task feeds at least one current task.
+		for i, c := range cur {
+			b.Connect(prev[i%len(prev)], c, Shuffle)
+		}
+		for i, p := range prev {
+			if i >= len(cur) {
+				b.Connect(p, cur[rng.Intn(len(cur))], Shuffle)
+			}
+		}
+		prev = cur
+	}
+	b.AddSink("Sink", 1)
+	for _, p := range prev {
+		b.Connect(p, "Sink", Shuffle)
+	}
+	return b.MustBuild()
+}
+
+// Property: every randomly built DAG validates, topo-sorts completely,
+// has consistent depth, and its instance expansion matches the summed
+// parallelism.
+func TestRandomDAGInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		topo := randomDAG(seed)
+		if topo.Validate() != nil {
+			return false
+		}
+		order := topo.TopoSort()
+		if len(order) != len(topo.Tasks()) {
+			return false
+		}
+		pos := make(map[string]int, len(order))
+		for i, n := range order {
+			pos[n] = i
+		}
+		depth := topo.Depth()
+		for _, n := range topo.TaskNames() {
+			for _, e := range topo.Outgoing(n) {
+				if pos[e.From] >= pos[e.To] {
+					return false
+				}
+				if depth[e.To] < depth[e.From]+1 {
+					return false
+				}
+			}
+		}
+		if got := len(topo.Instances()); got != topo.TotalInstances() {
+			return false
+		}
+		// Critical path is the sink's depth and at least 2 (src->layer->sink).
+		cp := topo.CriticalPathLen()
+		return cp == depth["Sink"] && cp >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: input rates are conserved — the sink's rate equals source
+// rate times the number of source→sink paths (selectivity 1 everywhere).
+func TestRandomDAGRateConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		topo := randomDAG(seed)
+		rates := topo.InputRate(8)
+		// Count source→sink paths by dynamic programming.
+		paths := map[string]float64{"Src": 1}
+		for _, n := range topo.TopoSort() {
+			for _, e := range topo.Outgoing(n) {
+				paths[e.To] += paths[n]
+			}
+		}
+		want := 8 * paths["Sink"]
+		got := rates["Sink"]
+		return got > want-0.001 && got < want+0.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

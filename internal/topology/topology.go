@@ -1,0 +1,441 @@
+// Package topology models streaming dataflow graphs: logical tasks,
+// directed streams between them, grouping policies that pick the target
+// instance, and the expansion of tasks into parallel instances.
+//
+// The model mirrors Storm topologies: one source task layer emits root
+// events, intermediate tasks transform them (selectivity 1:1 in the
+// paper's experiments), and sink tasks terminate the causal trees. Fan-out
+// edges duplicate events to every subscribed downstream task; fan-in edges
+// merge streams.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Role classifies a task's position in the dataflow.
+type Role int
+
+// Task roles. Sources emit root events, sinks terminate causal trees, and
+// inner tasks transform events.
+const (
+	RoleSource Role = iota + 1
+	RoleInner
+	RoleSink
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleSource:
+		return "source"
+	case RoleInner:
+		return "inner"
+	case RoleSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Grouping selects how an edge routes an event among the downstream
+// task's parallel instances.
+type Grouping int
+
+// Grouping policies, mirroring Storm stream groupings.
+const (
+	// Shuffle distributes events round-robin across instances.
+	Shuffle Grouping = iota + 1
+	// Fields routes by hash of the event key, preserving key locality.
+	Fields
+	// All delivers a copy to every instance of the downstream task.
+	All
+	// Global delivers every event to instance 0.
+	Global
+)
+
+// String implements fmt.Stringer.
+func (g Grouping) String() string {
+	switch g {
+	case Shuffle:
+		return "shuffle"
+	case Fields:
+		return "fields"
+	case All:
+		return "all"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("Grouping(%d)", int(g))
+	}
+}
+
+// Task is a logical vertex of the dataflow.
+type Task struct {
+	// Name uniquely identifies the task within its topology.
+	Name string
+	// Role classifies the task as source, inner or sink.
+	Role Role
+	// Parallelism is the number of instances (each occupies one slot).
+	Parallelism int
+	// Stateful marks tasks that carry user state across events and
+	// therefore participate in checkpointing.
+	Stateful bool
+	// Selectivity is the number of output events emitted per input event
+	// on each outgoing stream (1 in all paper experiments).
+	Selectivity int
+}
+
+// Edge is a directed stream from one task to another.
+type Edge struct {
+	// From and To name the endpoint tasks.
+	From, To string
+	// Grouping routes events among To's instances.
+	Grouping Grouping
+}
+
+// Topology is a validated immutable dataflow graph. Build one with
+// Builder; the zero value is not usable.
+type Topology struct {
+	name  string
+	tasks map[string]*Task
+	order []string // insertion order for deterministic iteration
+	out   map[string][]Edge
+	in    map[string][]Edge
+}
+
+// Name returns the topology's name.
+func (t *Topology) Name() string { return t.name }
+
+// Task returns the named task, or nil if absent.
+func (t *Topology) Task(name string) *Task { return t.tasks[name] }
+
+// Tasks returns all tasks in insertion order.
+func (t *Topology) Tasks() []*Task {
+	out := make([]*Task, 0, len(t.order))
+	for _, n := range t.order {
+		out = append(out, t.tasks[n])
+	}
+	return out
+}
+
+// TaskNames returns task names in insertion order.
+func (t *Topology) TaskNames() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Outgoing returns the edges leaving task name.
+func (t *Topology) Outgoing(name string) []Edge {
+	es := t.out[name]
+	out := make([]Edge, len(es))
+	copy(out, es)
+	return out
+}
+
+// Incoming returns the edges entering task name.
+func (t *Topology) Incoming(name string) []Edge {
+	es := t.in[name]
+	out := make([]Edge, len(es))
+	copy(out, es)
+	return out
+}
+
+// Sources returns the source tasks in insertion order.
+func (t *Topology) Sources() []*Task { return t.byRole(RoleSource) }
+
+// Sinks returns the sink tasks in insertion order.
+func (t *Topology) Sinks() []*Task { return t.byRole(RoleSink) }
+
+// Inner returns the non-source, non-sink tasks in insertion order.
+func (t *Topology) Inner() []*Task { return t.byRole(RoleInner) }
+
+func (t *Topology) byRole(r Role) []*Task {
+	var out []*Task
+	for _, n := range t.order {
+		if t.tasks[n].Role == r {
+			out = append(out, t.tasks[n])
+		}
+	}
+	return out
+}
+
+// TotalInstances sums parallelism over the given roles (all roles when
+// none specified).
+func (t *Topology) TotalInstances(roles ...Role) int {
+	want := func(r Role) bool {
+		if len(roles) == 0 {
+			return true
+		}
+		for _, x := range roles {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
+	n := 0
+	for _, task := range t.tasks {
+		if want(task.Role) {
+			n += task.Parallelism
+		}
+	}
+	return n
+}
+
+// TopoSort returns task names in a topological order of the DAG.
+func (t *Topology) TopoSort() []string {
+	indeg := make(map[string]int, len(t.tasks))
+	for _, n := range t.order {
+		indeg[n] = len(t.in[n])
+	}
+	// Stable frontier: process in insertion order for determinism.
+	var frontier []string
+	for _, n := range t.order {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	var out []string
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, n)
+		for _, e := range t.out[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				frontier = append(frontier, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Depth returns, per task, the length (in edges) of the longest path from
+// any source to that task.
+func (t *Topology) Depth() map[string]int {
+	depth := make(map[string]int, len(t.tasks))
+	for _, n := range t.TopoSort() {
+		d := 0
+		for _, e := range t.in[n] {
+			if depth[e.From]+1 > d {
+				d = depth[e.From] + 1
+			}
+		}
+		depth[n] = d
+	}
+	return depth
+}
+
+// CriticalPathLen returns the number of edges on the longest source→sink
+// path. The paper's drain-time analysis is proportional to this length.
+func (t *Topology) CriticalPathLen() int {
+	depth := t.Depth()
+	maxd := 0
+	for _, task := range t.Sinks() {
+		if depth[task.Name] > maxd {
+			maxd = depth[task.Name]
+		}
+	}
+	return maxd
+}
+
+// InputRate returns, per task, the steady-state input rate in events/sec
+// given that each source emits sourceRate events/sec, every edge fan-out
+// duplicates events, and tasks emit Selectivity outputs per input.
+func (t *Topology) InputRate(sourceRate float64) map[string]float64 {
+	rate := make(map[string]float64, len(t.tasks))
+	outRate := make(map[string]float64, len(t.tasks))
+	for _, n := range t.TopoSort() {
+		task := t.tasks[n]
+		if task.Role == RoleSource {
+			outRate[n] = sourceRate
+			continue
+		}
+		in := 0.0
+		for _, e := range t.in[n] {
+			in += outRate[e.From]
+		}
+		rate[n] = in
+		outRate[n] = in * float64(task.Selectivity)
+	}
+	return rate
+}
+
+// Instance identifies one parallel instance of a task. Instances are the
+// unit of scheduling: each occupies one VM slot and runs one executor.
+type Instance struct {
+	// Task is the logical task name.
+	Task string
+	// Index is the instance index in [0, Parallelism).
+	Index int
+}
+
+// String implements fmt.Stringer, e.g. "J1[2]".
+func (i Instance) String() string { return fmt.Sprintf("%s[%d]", i.Task, i.Index) }
+
+// Instances expands the given roles (all when none specified) into the
+// full instance list, ordered by task insertion order then index.
+func (t *Topology) Instances(roles ...Role) []Instance {
+	want := func(r Role) bool {
+		if len(roles) == 0 {
+			return true
+		}
+		for _, x := range roles {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Instance
+	for _, n := range t.order {
+		task := t.tasks[n]
+		if !want(task.Role) {
+			continue
+		}
+		for i := 0; i < task.Parallelism; i++ {
+			out = append(out, Instance{Task: n, Index: i})
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: at least one source and one sink,
+// acyclicity, connectivity of every task to the source layer, positive
+// parallelism and selectivity, and edges referencing known tasks. The
+// Builder calls this automatically.
+func (t *Topology) Validate() error {
+	var srcs, sinks int
+	for _, task := range t.tasks {
+		switch {
+		case task.Parallelism <= 0:
+			return fmt.Errorf("topology %q: task %q has parallelism %d", t.name, task.Name, task.Parallelism)
+		case task.Selectivity <= 0:
+			return fmt.Errorf("topology %q: task %q has selectivity %d", t.name, task.Name, task.Selectivity)
+		}
+		switch task.Role {
+		case RoleSource:
+			srcs++
+			if len(t.in[task.Name]) > 0 {
+				return fmt.Errorf("topology %q: source %q has incoming edges", t.name, task.Name)
+			}
+		case RoleSink:
+			sinks++
+			if len(t.out[task.Name]) > 0 {
+				return fmt.Errorf("topology %q: sink %q has outgoing edges", t.name, task.Name)
+			}
+		}
+	}
+	if srcs == 0 {
+		return fmt.Errorf("topology %q: no source task", t.name)
+	}
+	if sinks == 0 {
+		return fmt.Errorf("topology %q: no sink task", t.name)
+	}
+	if got := len(t.TopoSort()); got != len(t.tasks) {
+		return fmt.Errorf("topology %q: cycle detected (%d of %d tasks sortable)", t.name, got, len(t.tasks))
+	}
+	// Every non-source task must be reachable from a source.
+	depth := t.Depth()
+	for _, task := range t.tasks {
+		if task.Role != RoleSource && len(t.in[task.Name]) == 0 {
+			return fmt.Errorf("topology %q: task %q is disconnected", t.name, task.Name)
+		}
+		_ = depth
+	}
+	return nil
+}
+
+// Builder assembles a Topology incrementally. Errors are accumulated and
+// reported by Build, so call sites can chain without per-call checks.
+type Builder struct {
+	topo *Topology
+	errs []error
+}
+
+// NewBuilder starts a topology with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{topo: &Topology{
+		name:  name,
+		tasks: make(map[string]*Task),
+		out:   make(map[string][]Edge),
+		in:    make(map[string][]Edge),
+	}}
+}
+
+// AddSource adds a source task with the given parallelism.
+func (b *Builder) AddSource(name string, parallelism int) *Builder {
+	return b.add(&Task{Name: name, Role: RoleSource, Parallelism: parallelism, Selectivity: 1})
+}
+
+// AddTask adds an inner task. Stateful tasks participate in checkpointing.
+func (b *Builder) AddTask(name string, parallelism int, stateful bool) *Builder {
+	return b.add(&Task{Name: name, Role: RoleInner, Parallelism: parallelism, Stateful: stateful, Selectivity: 1})
+}
+
+// AddSink adds a sink task with the given parallelism.
+func (b *Builder) AddSink(name string, parallelism int) *Builder {
+	return b.add(&Task{Name: name, Role: RoleSink, Parallelism: parallelism, Selectivity: 1})
+}
+
+func (b *Builder) add(task *Task) *Builder {
+	if _, dup := b.topo.tasks[task.Name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate task %q", task.Name))
+		return b
+	}
+	b.topo.tasks[task.Name] = task
+	b.topo.order = append(b.topo.order, task.Name)
+	return b
+}
+
+// Connect adds a stream from one task to another with the given grouping.
+func (b *Builder) Connect(from, to string, g Grouping) *Builder {
+	if _, ok := b.topo.tasks[from]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("edge from unknown task %q", from))
+		return b
+	}
+	if _, ok := b.topo.tasks[to]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("edge to unknown task %q", to))
+		return b
+	}
+	for _, e := range b.topo.out[from] {
+		if e.To == to {
+			b.errs = append(b.errs, fmt.Errorf("duplicate edge %s->%s", from, to))
+			return b
+		}
+	}
+	e := Edge{From: from, To: to, Grouping: g}
+	b.topo.out[from] = append(b.topo.out[from], e)
+	b.topo.in[to] = append(b.topo.in[to], e)
+	return b
+}
+
+// Build validates and returns the topology.
+func (b *Builder) Build() (*Topology, error) {
+	if len(b.errs) > 0 {
+		msgs := make([]string, len(b.errs))
+		for i, e := range b.errs {
+			msgs[i] = e.Error()
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("topology %q: %w", b.topo.name, errors.New(msgs[0]))
+	}
+	if err := b.topo.Validate(); err != nil {
+		return nil, err
+	}
+	return b.topo, nil
+}
+
+// MustBuild is Build that panics on error; intended for the static
+// benchmark DAGs whose construction cannot fail.
+func (b *Builder) MustBuild() *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

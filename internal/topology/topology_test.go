@@ -1,0 +1,329 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds Src -> T1 -> ... -> Tn -> Sink with unit parallelism.
+func chain(t *testing.T, n int) *Topology {
+	t.Helper()
+	b := NewBuilder("chain")
+	b.AddSource("Src", 1)
+	prev := "Src"
+	for i := 1; i <= n; i++ {
+		name := "T" + string(rune('0'+i))
+		b.AddTask(name, 1, true)
+		b.Connect(prev, name, Shuffle)
+		prev = name
+	}
+	b.AddSink("Sink", 1)
+	b.Connect(prev, "Sink", Shuffle)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("chain build failed: %v", err)
+	}
+	return topo
+}
+
+func TestBuilderBasics(t *testing.T) {
+	topo := chain(t, 3)
+	if topo.Name() != "chain" {
+		t.Errorf("Name = %q", topo.Name())
+	}
+	if got := len(topo.Tasks()); got != 5 {
+		t.Errorf("task count = %d, want 5", got)
+	}
+	if got := len(topo.Sources()); got != 1 || topo.Sources()[0].Name != "Src" {
+		t.Errorf("Sources = %v", topo.Sources())
+	}
+	if got := len(topo.Sinks()); got != 1 || topo.Sinks()[0].Name != "Sink" {
+		t.Errorf("Sinks = %v", topo.Sinks())
+	}
+	if got := len(topo.Inner()); got != 3 {
+		t.Errorf("Inner count = %d, want 3", got)
+	}
+	if topo.Task("T2") == nil || topo.Task("nope") != nil {
+		t.Error("Task lookup broken")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() *Builder
+		wantSub string
+	}{
+		{
+			name: "no source",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddTask("A", 1, false)
+				b.AddSink("S", 1)
+				b.Connect("A", "S", Shuffle)
+				return b
+			},
+			wantSub: "no source",
+		},
+		{
+			name: "no sink",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("Src", 1)
+				b.AddTask("A", 1, false)
+				b.Connect("Src", "A", Shuffle)
+				return b
+			},
+			wantSub: "no sink",
+		},
+		{
+			name: "duplicate task",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("A", 1)
+				b.AddSource("A", 1)
+				b.AddSink("S", 1)
+				b.Connect("A", "S", Shuffle)
+				return b
+			},
+			wantSub: "duplicate task",
+		},
+		{
+			name: "duplicate edge",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("A", 1)
+				b.AddSink("S", 1)
+				b.Connect("A", "S", Shuffle)
+				b.Connect("A", "S", Shuffle)
+				return b
+			},
+			wantSub: "duplicate edge",
+		},
+		{
+			name: "unknown endpoint",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("A", 1)
+				b.AddSink("S", 1)
+				b.Connect("A", "S", Shuffle)
+				b.Connect("A", "Z", Shuffle)
+				return b
+			},
+			wantSub: "unknown task",
+		},
+		{
+			name: "zero parallelism",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("A", 0)
+				b.AddSink("S", 1)
+				b.Connect("A", "S", Shuffle)
+				return b
+			},
+			wantSub: "parallelism",
+		},
+		{
+			name: "disconnected task",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("A", 1)
+				b.AddTask("L", 1, false) // no incoming edge
+				b.AddSink("S", 1)
+				b.Connect("A", "S", Shuffle)
+				b.Connect("L", "S", Shuffle)
+				return b
+			},
+			wantSub: "disconnected",
+		},
+		{
+			name: "source with incoming edge",
+			build: func() *Builder {
+				b := NewBuilder("x")
+				b.AddSource("A", 1)
+				b.AddSource("B", 1)
+				b.AddSink("S", 1)
+				b.Connect("A", "B", Shuffle)
+				b.Connect("B", "S", Shuffle)
+				return b
+			},
+			wantSub: "incoming",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build().Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	b := NewBuilder("cyclic")
+	b.AddSource("Src", 1)
+	b.AddTask("A", 1, false)
+	b.AddTask("B", 1, false)
+	b.AddSink("S", 1)
+	b.Connect("Src", "A", Shuffle)
+	b.Connect("A", "B", Shuffle)
+	b.Connect("B", "A", Shuffle)
+	b.Connect("B", "S", Shuffle)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestTopoSortRespectsEdges(t *testing.T) {
+	topo := diamond(t)
+	order := topo.TopoSort()
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range topo.TaskNames() {
+		for _, e := range topo.Outgoing(n) {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("topo order violates edge %s->%s: %v", e.From, e.To, order)
+			}
+		}
+	}
+}
+
+// diamond builds Src -> {A,B,C,D} -> E -> Sink.
+func diamond(t *testing.T) *Topology {
+	t.Helper()
+	b := NewBuilder("diamond")
+	b.AddSource("Src", 1)
+	for _, n := range []string{"A", "B", "C", "D"} {
+		b.AddTask(n, 1, true)
+		b.Connect("Src", n, Shuffle)
+	}
+	b.AddTask("E", 4, true)
+	for _, n := range []string{"A", "B", "C", "D"} {
+		b.Connect(n, "E", Shuffle)
+	}
+	b.AddSink("Sink", 1)
+	b.Connect("E", "Sink", Shuffle)
+	return b.MustBuild()
+}
+
+func TestDepthAndCriticalPath(t *testing.T) {
+	topo := diamond(t)
+	depth := topo.Depth()
+	want := map[string]int{"Src": 0, "A": 1, "B": 1, "C": 1, "D": 1, "E": 2, "Sink": 3}
+	for n, d := range want {
+		if depth[n] != d {
+			t.Errorf("depth[%s] = %d, want %d", n, depth[n], d)
+		}
+	}
+	if got := topo.CriticalPathLen(); got != 3 {
+		t.Errorf("CriticalPathLen = %d, want 3", got)
+	}
+	if got := chain(t, 5).CriticalPathLen(); got != 6 {
+		t.Errorf("chain-5 CriticalPathLen = %d, want 6", got)
+	}
+}
+
+func TestInputRate(t *testing.T) {
+	topo := diamond(t)
+	rates := topo.InputRate(8)
+	want := map[string]float64{"A": 8, "B": 8, "C": 8, "D": 8, "E": 32, "Sink": 32}
+	for n, r := range want {
+		if rates[n] != r {
+			t.Errorf("rate[%s] = %v, want %v", n, rates[n], r)
+		}
+	}
+}
+
+func TestInstancesExpansion(t *testing.T) {
+	topo := diamond(t)
+	all := topo.Instances()
+	if len(all) != 10 { // 1+4+4+1
+		t.Fatalf("instance count = %d, want 10", len(all))
+	}
+	inner := topo.Instances(RoleInner)
+	if len(inner) != 8 {
+		t.Fatalf("inner instance count = %d, want 8", len(inner))
+	}
+	if inner[0].String() != "A[0]" {
+		t.Errorf("first inner instance = %s", inner[0])
+	}
+	if got := topo.TotalInstances(RoleInner); got != 8 {
+		t.Errorf("TotalInstances(inner) = %d, want 8", got)
+	}
+	if got := topo.TotalInstances(); got != 10 {
+		t.Errorf("TotalInstances() = %d, want 10", got)
+	}
+}
+
+func TestIncomingOutgoingAreCopies(t *testing.T) {
+	topo := diamond(t)
+	out := topo.Outgoing("Src")
+	if len(out) != 4 {
+		t.Fatalf("Outgoing(Src) = %d edges, want 4", len(out))
+	}
+	out[0].To = "mutated"
+	if topo.Outgoing("Src")[0].To == "mutated" {
+		t.Fatal("Outgoing returned internal slice")
+	}
+	in := topo.Incoming("E")
+	if len(in) != 4 {
+		t.Fatalf("Incoming(E) = %d edges, want 4", len(in))
+	}
+}
+
+// Property: for any chain length, topo sort is exactly the chain order and
+// depth equals position.
+func TestChainProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		length := int(n%8) + 1
+		topo := chainN(length)
+		order := topo.TopoSort()
+		if len(order) != length+2 {
+			return false
+		}
+		depth := topo.Depth()
+		for i, name := range order {
+			if depth[name] != i {
+				return false
+			}
+		}
+		return topo.CriticalPathLen() == length+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chainN(n int) *Topology {
+	b := NewBuilder("chain")
+	b.AddSource("Src", 1)
+	prev := "Src"
+	for i := 1; i <= n; i++ {
+		name := "T" + string(rune('0'+i))
+		b.AddTask(name, 1, true)
+		b.Connect(prev, name, Shuffle)
+		prev = name
+	}
+	b.AddSink("Sink", 1)
+	b.Connect(prev, "Sink", Shuffle)
+	return b.MustBuild()
+}
+
+func TestRoleAndGroupingStrings(t *testing.T) {
+	if RoleSource.String() != "source" || RoleInner.String() != "inner" || RoleSink.String() != "sink" {
+		t.Error("Role strings wrong")
+	}
+	if Shuffle.String() != "shuffle" || Fields.String() != "fields" || All.String() != "all" || Global.String() != "global" {
+		t.Error("Grouping strings wrong")
+	}
+	if !strings.Contains(Role(9).String(), "9") || !strings.Contains(Grouping(9).String(), "9") {
+		t.Error("unknown enum strings wrong")
+	}
+}

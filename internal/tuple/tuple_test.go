@@ -1,0 +1,143 @@
+package tuple
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{Data, "DATA"},
+		{Prepare, "PREPARE"},
+		{Commit, "COMMIT"},
+		{Rollback, "ROLLBACK"},
+		{Init, "INIT"},
+		{Kind(42), "Kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestKindIsCheckpoint(t *testing.T) {
+	if Data.IsCheckpoint() {
+		t.Error("Data reported as checkpoint kind")
+	}
+	for _, k := range []Kind{Prepare, Commit, Rollback, Init} {
+		if !k.IsCheckpoint() {
+			t.Errorf("%v not reported as checkpoint kind", k)
+		}
+	}
+}
+
+func TestChildPreservesCausality(t *testing.T) {
+	rootEmit := time.Date(2018, 1, 1, 0, 0, 1, 0, time.UTC)
+	root := &Event{
+		ID: 7, Root: 7, Kind: Data, Key: 99,
+		RootEmit: rootEmit, Replayed: true, PreMigration: true,
+	}
+	child := root.Child(8, "taskB", 2, "payload")
+	if child.Root != root.Root {
+		t.Errorf("child root = %d, want %d", child.Root, root.Root)
+	}
+	if child.ID != 8 || child.SrcTask != "taskB" || child.SrcInstance != 2 {
+		t.Errorf("child identity fields wrong: %+v", child)
+	}
+	if !child.RootEmit.Equal(rootEmit) {
+		t.Errorf("child RootEmit = %v, want %v", child.RootEmit, rootEmit)
+	}
+	if !child.Replayed || !child.PreMigration {
+		t.Error("child did not inherit Replayed/PreMigration markers")
+	}
+	if child.Key != root.Key {
+		t.Errorf("child key = %d, want %d", child.Key, root.Key)
+	}
+	if child.Value != "payload" {
+		t.Errorf("child value = %v", child.Value)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	e := &Event{ID: 1, Root: 1, Kind: Data, Value: "x"}
+	c := e.Clone()
+	if c == e {
+		t.Fatal("Clone returned same pointer")
+	}
+	c.Value = "y"
+	if e.Value != "x" {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if id == 0 {
+			t.Fatal("IDGen issued zero ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	if g.Issued() != 10000 {
+		t.Fatalf("Issued() = %d, want 10000", g.Issued())
+	}
+}
+
+func TestIDGenConcurrent(t *testing.T) {
+	var g IDGen
+	const workers = 8
+	const perWorker = 2000
+	ids := make([][]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[w] = make([]ID, perWorker)
+			for i := range ids[w] {
+				ids[w][i] = g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[ID]bool, workers*perWorker)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate ID %d across goroutines", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// Property: Child never changes the root or the root emit time, for any
+// chain depth.
+func TestChildChainProperty(t *testing.T) {
+	f := func(depth uint8, rootID uint64) bool {
+		if rootID == 0 {
+			rootID = 1
+		}
+		var g IDGen
+		e := &Event{ID: ID(rootID), Root: ID(rootID), Kind: Data, RootEmit: time.Unix(123, 0)}
+		for i := 0; i < int(depth%32); i++ {
+			e = e.Child(g.Next(), "t", 0, i)
+		}
+		return e.Root == ID(rootID) && e.RootEmit.Equal(time.Unix(123, 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/statestore"
+	"repro/internal/tuple"
+)
+
+func dataEvent(seq int64, key uint64) *tuple.Event {
+	return &tuple.Event{ID: tuple.ID(seq + 1), Root: tuple.ID(seq + 1), Kind: tuple.Data,
+		Key: key, Value: Payload{Seq: seq, Body: "x"}}
+}
+
+func TestCountLogicCountsAndForwards(t *testing.T) {
+	l := NewCountLogic()
+	var emitted []any
+	emit := func(v any, key uint64) { emitted = append(emitted, v) }
+	for i := int64(0); i < 10; i++ {
+		l.Process(dataEvent(i, uint64(i)), emit)
+	}
+	if l.Processed() != 10 {
+		t.Fatalf("Processed = %d, want 10", l.Processed())
+	}
+	if len(emitted) != 10 {
+		t.Fatalf("emitted %d, want 10 (selectivity 1:1)", len(emitted))
+	}
+	st := l.State().(*CountState)
+	if st.LastSeq != 9 {
+		t.Fatalf("LastSeq = %d, want 9", st.LastSeq)
+	}
+}
+
+func TestCountStateSnapshotIsolation(t *testing.T) {
+	l := NewCountLogic()
+	l.Process(dataEvent(1, 3), func(any, uint64) {})
+	snap := l.State().(*CountState)
+	l.Process(dataEvent(2, 3), func(any, uint64) {})
+	if snap.Processed != 1 {
+		t.Fatal("snapshot shares Processed with live state")
+	}
+	if snap.ByKey[3] != 1 {
+		t.Fatalf("snapshot ByKey = %v", snap.ByKey)
+	}
+}
+
+func TestCountLogicRestore(t *testing.T) {
+	a := NewCountLogic()
+	for i := int64(0); i < 7; i++ {
+		a.Process(dataEvent(i, uint64(i)), func(any, uint64) {})
+	}
+	b := NewCountLogic()
+	if err := b.Restore(a.State()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if b.Processed() != 7 {
+		t.Fatalf("restored Processed = %d, want 7", b.Processed())
+	}
+	// Restored instance keeps counting independently.
+	b.Process(dataEvent(100, 0), func(any, uint64) {})
+	if a.Processed() != 7 || b.Processed() != 8 {
+		t.Fatal("restore did not isolate instances")
+	}
+}
+
+func TestCountLogicRestoreRejectsWrongType(t *testing.T) {
+	l := NewCountLogic()
+	if err := l.Restore("garbage"); err == nil {
+		t.Fatal("Restore accepted wrong type")
+	}
+}
+
+// TestStateSurvivesGobRoundTrip mirrors what checkpointing does: encode
+// the snapshot, ship it to the store, decode into a fresh instance.
+func TestStateSurvivesGobRoundTrip(t *testing.T) {
+	l := NewCountLogic()
+	for i := int64(0); i < 25; i++ {
+		l.Process(dataEvent(i, uint64(i%5)), func(any, uint64) {})
+	}
+	data, err := statestore.Encode(l.State())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var decoded *CountState
+	if err := statestore.Decode(data, &decoded); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	fresh := NewCountLogic()
+	if err := fresh.Restore(decoded); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if fresh.Processed() != 25 {
+		t.Fatalf("Processed after gob round trip = %d, want 25", fresh.Processed())
+	}
+	st := fresh.State().(*CountState)
+	if st.ByKey[2] != 5 {
+		t.Fatalf("ByKey after round trip = %v", st.ByKey)
+	}
+}
+
+func TestPayloadGobRoundTrip(t *testing.T) {
+	data, err := statestore.Encode(Payload{Seq: 9, Body: "gps-fix"})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var p Payload
+	if err := statestore.Decode(data, &p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if p.Seq != 9 || p.Body != "gps-fix" {
+		t.Fatalf("payload = %+v", p)
+	}
+}
+
+func TestPassLogic(t *testing.T) {
+	var n int
+	PassLogic{}.Process(dataEvent(1, 0), func(any, uint64) { n++ })
+	if n != 1 {
+		t.Fatalf("PassLogic emitted %d, want 1", n)
+	}
+	if (PassLogic{}).State() != nil {
+		t.Fatal("PassLogic has state")
+	}
+	if err := (PassLogic{}).Restore(nil); err != nil {
+		t.Fatalf("PassLogic Restore: %v", err)
+	}
+}
+
+func TestFactories(t *testing.T) {
+	if _, ok := CountFactory("T", 0).(*CountLogic); !ok {
+		t.Fatal("CountFactory type")
+	}
+	if _, ok := PassFactory("T", 0).(PassLogic); !ok {
+		t.Fatal("PassFactory type")
+	}
+}
+
+// Property: for any event sequence, state round-tripped through gob equals
+// the live state's counters.
+func TestSnapshotEquivalenceProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		l := NewCountLogic()
+		for i, k := range keys {
+			l.Process(dataEvent(int64(i), k), func(any, uint64) {})
+		}
+		data, err := statestore.Encode(l.State())
+		if err != nil {
+			return false
+		}
+		var back *CountState
+		if err := statestore.Decode(data, &back); err != nil {
+			return false
+		}
+		if back.Processed != int64(len(keys)) {
+			return false
+		}
+		live := l.State().(*CountState)
+		for k, v := range live.ByKey {
+			if back.ByKey[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

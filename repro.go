@@ -1,0 +1,240 @@
+// Package repro is a from-scratch Go reproduction of "Toward Reliable and
+// Rapid Elasticity for Streaming Dataflows on Clouds" (Shukla & Simmhan,
+// ICDCS 2018): a Storm-like distributed stream processing runtime and the
+// three dataflow migration strategies the paper proposes and evaluates —
+// DSM (the Storm baseline), DCR (Drain–Checkpoint–Restore) and CCR
+// (Capture–Checkpoint–Resume).
+//
+// This package is the public facade. It re-exports the stable surface of
+// the internal packages so applications can:
+//
+//   - build dataflow topologies (Builder, Topology) and reuse the paper's
+//     benchmark DAGs (Linear, Diamond, Star, Grid, Traffic);
+//   - deploy them on a modeled elastic cluster (Cluster, VM types, the
+//     round-robin and resource-aware schedulers);
+//   - run them on the engine (Engine, Config) under real or compressed
+//     paper time;
+//   - migrate them live between VM sets with DSM, DCR or CCR, with the
+//     reliability guarantees of the paper (no message or state loss);
+//   - and reproduce every evaluation artifact (Suite, Scenario, the
+//     Table 1 / Fig. 5–9 generators).
+//
+// Quick start: see examples/quickstart, or:
+//
+//	spec := repro.Grid()
+//	res, err := repro.RunScenario(repro.Scenario{
+//	    Spec:      spec,
+//	    Strategy:  repro.CCR{},
+//	    Direction: repro.ScaleIn,
+//	    Run:       repro.DefaultRunConfig(),
+//	})
+//	fmt.Println(res.Metrics)
+package repro
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// --- topology construction -------------------------------------------------
+
+// Topology is a validated streaming dataflow graph.
+type Topology = topology.Topology
+
+// Builder assembles a Topology incrementally.
+type Builder = topology.Builder
+
+// Task is one logical dataflow vertex; Instance one parallel instance.
+type (
+	Task     = topology.Task
+	Instance = topology.Instance
+)
+
+// Grouping selects how an edge routes events among instances.
+type Grouping = topology.Grouping
+
+// Groupings, mirroring Storm's stream groupings.
+const (
+	Shuffle = topology.Shuffle
+	Fields  = topology.Fields
+	All     = topology.All
+	Global  = topology.Global
+)
+
+// NewTopology starts building a dataflow with the given name.
+func NewTopology(name string) *Builder { return topology.NewBuilder(name) }
+
+// --- benchmark dataflows ----------------------------------------------------
+
+// Spec bundles a benchmark topology with its Table 1 deployment facts.
+type Spec = dataflows.Spec
+
+// The paper's benchmark DAGs (Fig. 4 / Table 1).
+var (
+	Linear  = dataflows.Linear
+	Diamond = dataflows.Diamond
+	Star    = dataflows.Star
+	Grid    = dataflows.Grid
+	Traffic = dataflows.Traffic
+	LinearN = dataflows.LinearN
+)
+
+// DAGByName resolves a benchmark dataflow by name.
+var DAGByName = dataflows.ByName
+
+// --- cluster and scheduling --------------------------------------------------
+
+// Cluster models the elastic VM pool; VMType a provisionable flavor;
+// SlotRef one resource slot.
+type (
+	Cluster = cluster.Cluster
+	VMType  = cluster.VMType
+	SlotRef = cluster.SlotRef
+)
+
+// Azure D-series flavors used by the paper.
+var (
+	D1 = cluster.D1
+	D2 = cluster.D2
+	D3 = cluster.D3
+)
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster { return cluster.New() }
+
+// Schedule maps instances to slots; Scheduler is a placement policy.
+type (
+	Schedule  = scheduler.Schedule
+	Scheduler = scheduler.Scheduler
+)
+
+// Placement policies: Storm's default round-robin and an R-Storm-style
+// packing scheduler.
+type (
+	RoundRobin    = scheduler.RoundRobin
+	ResourceAware = scheduler.ResourceAware
+)
+
+// ScheduleDiff returns the instances whose placement changes between two
+// schedules — the migration set.
+var ScheduleDiff = scheduler.Diff
+
+// --- engine -------------------------------------------------------------------
+
+// Engine executes a dataflow; Config carries its protocol constants;
+// Params configures construction.
+type (
+	Engine = runtime.Engine
+	Config = runtime.Config
+	Params = runtime.Params
+)
+
+// Mode selects which strategy machinery the engine is provisioned with.
+type Mode = runtime.Mode
+
+// Engine modes, one per strategy.
+const (
+	ModeDSM = runtime.ModeDSM
+	ModeDCR = runtime.ModeDCR
+	ModeCCR = runtime.ModeCCR
+)
+
+// NewEngine builds an engine from Params.
+var NewEngine = runtime.New
+
+// DefaultConfig returns the paper's experiment configuration for a mode.
+var DefaultConfig = runtime.DefaultConfig
+
+// Clock abstractions: real time, compressed paper time, manual test time.
+type Clock = timex.Clock
+
+// Clock constructors.
+var (
+	NewRealClock   = timex.NewReal
+	NewScaledClock = timex.NewScaled
+	NewManualClock = timex.NewManual
+)
+
+// Logic is the user logic of one task instance; Factory builds one per
+// instance.
+type (
+	Logic   = workload.Logic
+	Factory = workload.Factory
+)
+
+// Built-in logic: stateful counting (checkpointable) and stateless
+// pass-through.
+var (
+	CountFactory = workload.CountFactory
+	PassFactory  = workload.PassFactory
+)
+
+// --- migration strategies -------------------------------------------------------
+
+// Strategy enacts a planned migration of a running dataflow.
+type Strategy = core.Strategy
+
+// The paper's strategies and the INIT-delivery ablation variant.
+type (
+	DSM        = core.DSM
+	DCR        = core.DCR
+	CCR        = core.CCR
+	CCRSeqInit = core.CCRSeqInit
+)
+
+// StrategyByName resolves a strategy by acronym.
+var StrategyByName = core.ByName
+
+// AllStrategies returns DSM, DCR and CCR in the paper's order.
+var AllStrategies = core.All
+
+// Checkpoint wave delivery modes (see internal/checkpoint).
+const (
+	Sequential = checkpoint.Sequential
+	Broadcast  = checkpoint.Broadcast
+)
+
+// --- metrics and experiments ------------------------------------------------------
+
+// Metrics holds the §4 measurements of one migration run.
+type Metrics = metrics.Metrics
+
+// Scenario is one evaluation cell; Result its outcome; RunConfig tunes
+// execution; Suite memoizes a full evaluation matrix.
+type (
+	Scenario  = experiments.Scenario
+	Result    = experiments.Result
+	RunConfig = experiments.RunConfig
+	Suite     = experiments.Suite
+)
+
+// Direction is the elasticity scenario.
+type Direction = experiments.Direction
+
+// Scale directions of §5.
+const (
+	ScaleIn  = experiments.ScaleIn
+	ScaleOut = experiments.ScaleOut
+)
+
+// RunScenario executes one scenario end to end.
+var RunScenario = experiments.Run
+
+// NewSuite returns a memoizing evaluation matrix runner.
+var NewSuite = experiments.NewSuite
+
+// DefaultRunConfig returns the standard evaluation settings (50×
+// compressed paper time).
+var DefaultRunConfig = experiments.DefaultRunConfig
+
+// Table1 renders the deployment inventory of the paper's Table 1.
+var Table1 = experiments.Table1
