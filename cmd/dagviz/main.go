@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,16 +23,26 @@ import (
 	"repro/internal/topology"
 )
 
+// errUsage signals a flag-parse failure whose details the flag package
+// already printed to stderr.
+var errUsage = errors.New("invalid arguments (see usage above)")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dagviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	dag := flag.String("dag", "", "show one DAG: linear, diamond, star, grid, traffic (default: all)")
-	flag.Parse()
+func run(args []string) error {
+	fs := flag.NewFlagSet("dagviz", flag.ContinueOnError)
+	dag := fs.String("dag", "", "show one DAG: linear, diamond, star, grid, traffic (default: all)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage // flag already printed the problem and usage
+	}
 
 	specs := []dataflows.Spec{}
 	if *dag == "" {

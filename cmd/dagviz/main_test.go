@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestRunAllDAGs smoke-runs the inspector over every benchmark DAG (pure
+// printing, no engine).
+func TestRunAllDAGs(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleDAG(t *testing.T) {
+	if err := run([]string{"-dag", "grid"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownDAG(t *testing.T) {
+	if err := run([]string{"-dag", "nope"}); err == nil {
+		t.Fatal("unknown DAG accepted")
+	}
+}
+
+// TestRunHelp: -h prints usage and succeeds (exit 0), as flag's
+// ExitOnError behavior did before run() became testable.
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}

@@ -1,12 +1,14 @@
 // Command elastic-bench regenerates the paper's evaluation artifacts:
-// every table and figure of §5, the §5.1 micro-benchmarks, and the
-// ablations documented in DESIGN.md.
+// every table and figure of §5, the §5.1 micro-benchmarks, the ablations
+// documented in DESIGN.md, and the autoscale policy × strategy
+// comparison built on internal/autoscale.
 //
 // Usage:
 //
 //	elastic-bench -figure all            # everything (runs the full matrix)
 //	elastic-bench -figure 5a             # Fig. 5a only
 //	elastic-bench -figure table1,m2      # comma-separated subsets
+//	elastic-bench -figure autoscale      # closed-loop elasticity comparison
 //	elastic-bench -scale 0.02            # time compression (0.02 = 50x)
 //
 // Runs execute in compressed paper time; all reported numbers are paper
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,21 +26,31 @@ import (
 	"repro/internal/experiments"
 )
 
+// errUsage signals a flag-parse failure whose details the flag package
+// already printed to stderr.
+var errUsage = errors.New("invalid arguments (see usage above)")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "elastic-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	figures := flag.String("figure", "all", "comma-separated artifacts: table1,5a,5b,6,7,8,9,m1,m2,m3,a1,a2,a3,reliability,all")
-	scale := flag.Float64("scale", 0.02, "time compression factor (0.02 = 50x faster than the testbed)")
-	pre := flag.Duration("pre", 60*time.Second, "steady-state warmup before the migration request (paper time)")
-	post := flag.Duration("post", 420*time.Second, "maximum horizon after the migration request (paper time)")
-	seed := flag.Int64("seed", 1, "randomness seed")
-	csvPath := flag.String("csv", "", "also write the evaluation matrix to this CSV file")
-	flag.Parse()
+func run(args []string) error {
+	fs := flag.NewFlagSet("elastic-bench", flag.ContinueOnError)
+	figures := fs.String("figure", "all", "comma-separated artifacts: table1,5a,5b,6,7,8,9,m1,m2,m3,a1,a2,a3,reliability,autoscale,all")
+	scale := fs.Float64("scale", 0.02, "time compression factor (0.02 = 50x faster than the testbed)")
+	pre := fs.Duration("pre", 60*time.Second, "steady-state warmup before the migration request (paper time)")
+	post := fs.Duration("post", 420*time.Second, "maximum horizon after the migration request (paper time)")
+	seed := fs.Int64("seed", 1, "randomness seed")
+	csvPath := fs.String("csv", "", "also write the evaluation matrix to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage // flag already printed the problem and usage
+	}
 
 	runCfg := experiments.RunConfig{
 		TimeScale:    *scale,
@@ -73,6 +86,7 @@ func run() error {
 		{"a2", suite.A2InitDelivery},
 		{"a3", suite.A3CheckpointFreshness},
 		{"reliability", suite.ReliabilityReport},
+		{"autoscale", func() (string, error) { return experiments.AutoscaleComparison(*scale, *seed) }},
 	}
 
 	ran := 0

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRunPureArtifacts smoke-runs the artifacts that need no engine run:
+// the Table 1 inventory and the M2 store micro-benchmark.
+func TestRunPureArtifacts(t *testing.T) {
+	if err := run([]string{"-figure", "table1,m2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run([]string{"-figure", "nope"}); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}
+
+// TestRunHelp: -h prints usage and succeeds (exit 0), as flag's
+// ExitOnError behavior did before run() became testable.
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}

@@ -3,43 +3,62 @@
 // reliability accounting. Useful for exploring a single cell of the
 // evaluation matrix or validating a configuration change.
 //
+// With -autoscale it instead hands the dataflow to the closed-loop
+// elasticity controller (internal/autoscale) under a ramping workload
+// and reports every scaling decision the chosen policy made.
+//
 // Usage:
 //
 //	stormlet -dag grid -strategy CCR -direction in
 //	stormlet -dag linear -strategy DSM -direction out -scale 0.05
+//	stormlet -dag diamond -strategy CCR -autoscale -policy queue
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/dataflows"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
+// errUsage signals a flag-parse failure whose details the flag package
+// already printed to stderr.
+var errUsage = errors.New("invalid arguments (see usage above)")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "stormlet:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	dag := flag.String("dag", "grid", "dataflow: linear, diamond, star, grid, traffic")
-	strategy := flag.String("strategy", "CCR", "migration strategy: DSM, DCR, CCR, CCR-seqinit")
-	direction := flag.String("direction", "in", "scale direction: in or out")
-	scale := flag.Float64("scale", 0.02, "time compression factor")
-	pre := flag.Duration("pre", 60*time.Second, "warmup before migration (paper time)")
-	post := flag.Duration("post", 420*time.Second, "max horizon after migration (paper time)")
-	seed := flag.Int64("seed", 1, "randomness seed")
-	timeline := flag.Bool("timeline", false, "print throughput and latency timelines")
-	chart := flag.Bool("chart", false, "render timelines as ASCII charts")
-	csvPath := flag.String("csv", "", "write the run's timelines as CSV files with this prefix")
-	flag.Parse()
+func run(args []string) error {
+	fs := flag.NewFlagSet("stormlet", flag.ContinueOnError)
+	dag := fs.String("dag", "grid", "dataflow: linear, diamond, star, grid, traffic")
+	strategy := fs.String("strategy", "CCR", "migration strategy: DSM, DCR, CCR, CCR-seqinit")
+	direction := fs.String("direction", "in", "scale direction: in or out")
+	scale := fs.Float64("scale", 0.02, "time compression factor")
+	pre := fs.Duration("pre", 60*time.Second, "warmup before migration (paper time)")
+	post := fs.Duration("post", 420*time.Second, "max horizon after migration (paper time)")
+	seed := fs.Int64("seed", 1, "randomness seed")
+	timeline := fs.Bool("timeline", false, "print throughput and latency timelines")
+	chart := fs.Bool("chart", false, "render timelines as ASCII charts")
+	csvPath := fs.String("csv", "", "write the run's timelines as CSV files with this prefix")
+	doAutoscale := fs.Bool("autoscale", false, "run the closed elasticity loop under a ramping workload instead of a single migration (uses -dag, -strategy, -policy, -scale, -seed; the other flags do not apply)")
+	policy := fs.String("policy", "util-band", "autoscale policy: util-band, queue, latency-slo")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage // flag already printed the problem and usage
+	}
 
 	spec, err := dataflows.ByName(*dag)
 	if err != nil {
@@ -48,6 +67,9 @@ func run() error {
 	strat, err := core.ByName(*strategy)
 	if err != nil {
 		return err
+	}
+	if *doAutoscale {
+		return runAutoscale(spec, strat, *policy, *scale, *seed)
 	}
 	dir := experiments.ScaleIn
 	if *direction == "out" {
@@ -134,6 +156,57 @@ func run() error {
 			}
 			fmt.Printf("wrote %s-%s.csv\n", *csvPath, name)
 		}
+	}
+	return nil
+}
+
+// runAutoscale drives the closed elasticity loop on the chosen dataflow
+// under experiments.DefaultRamp and reports every decision and the final
+// accounting.
+func runAutoscale(spec dataflows.Spec, strat core.Strategy, policyName string, scale float64, seed int64) error {
+	pol, err := autoscale.ByName(policyName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Autoscaling %s with policy %s, enacting via %s (scale %.3f)...\n",
+		spec.Topology.Name(), pol.Name(), strat.Name(), scale)
+	start := time.Now()
+	r, err := experiments.RunAutoscale(experiments.AutoscaleScenario{
+		Spec:      spec,
+		Strategy:  strat,
+		Policy:    pol,
+		TimeScale: scale,
+		Seed:      seed,
+		Debug: func(d autoscale.Decision, off time.Duration) {
+			switch {
+			case d.Enacted:
+				fmt.Printf("  [%6s] ENACT  %s\n", off.Round(time.Second), d.Target.Reason)
+			case d.Err != nil:
+				fmt.Printf("  [%6s] FAILED %s: %v\n", off.Round(time.Second), d.Target.Reason, d.Err)
+			case d.Raw.Verdict != autoscale.Hold:
+				fmt.Printf("  [%6s] defer  %s\n", off.Round(time.Second), d.Admitted.Reason)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(experiments.Table("Autoscale run",
+		[]string{"Item", "Value"},
+		[][]string{
+			{"DAG / policy / strategy", fmt.Sprintf("%s / %s / %s", r.DAG, r.Policy, r.Strategy)},
+			{"Scale-outs / scale-ins", fmt.Sprintf("%d / %d", r.ScaleOuts, r.ScaleIns)},
+			{"Failed enactments", fmt.Sprint(r.FailedEnactments)},
+			{"Mean enactment (paper time)", r.MeanEnactment.Round(100 * time.Millisecond).String()},
+			{"Loop decisions (holds)", fmt.Sprintf("%d (%d)", r.Decisions, r.Holds)},
+			{"Final fleet", r.FinalFleet},
+			{"Billing rate at horizon", fmt.Sprintf("%.4f /min", r.RateFinal)},
+			{"Total cost", fmt.Sprintf("%.4f", r.Cost)},
+			{"Lost / duplicated / replayed", fmt.Sprintf("%d / %d / %d", r.Lost, r.Duplicates, r.Replayed)},
+		}))
+	if r.Lost != 0 || r.Duplicates != 0 {
+		return fmt.Errorf("reliability violated: lost=%d duplicated=%d", r.Lost, r.Duplicates)
 	}
 	return nil
 }

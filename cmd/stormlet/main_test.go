@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+// TestRunSingleScenario smoke-runs one cheap evaluation cell on a
+// sharply compressed clock.
+func TestRunSingleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run; skipped in -short")
+	}
+	err := run([]string{
+		"-dag", "linear", "-strategy", "CCR", "-direction", "in",
+		"-scale", "0.004", "-pre", "15s", "-post", "150s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAutoscaleMode smoke-runs the closed elasticity loop through the
+// CLI entry point.
+func TestRunAutoscaleMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run; skipped in -short")
+	}
+	err := run([]string{
+		"-dag", "diamond", "-strategy", "CCR",
+		"-autoscale", "-policy", "util-band", "-scale", "0.004",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownInputs(t *testing.T) {
+	if err := run([]string{"-dag", "nope"}); err == nil {
+		t.Fatal("unknown DAG accepted")
+	}
+	if err := run([]string{"-strategy", "nope"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if err := run([]string{"-autoscale", "-policy", "nope"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestRunHelp: -h prints usage and succeeds (exit 0), as flag's
+// ExitOnError behavior did before run() became testable.
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}

@@ -1,12 +1,11 @@
-// Autoscale: closes the loop the paper scopes out. A reactive controller
-// watches the offered rate of a Diamond dataflow, decides a new VM
-// allocation from a utilization band, and enacts it live with CCR — the
-// "diverse elastic scheduling scenarios" the paper's conclusion says its
-// migration techniques enable.
-//
-// The workload ramps: steady 8 ev/s, then the controller is consulted
-// after the per-instance utilization drifts out of [0.5, 0.9]. Every
-// reallocation is reliable (zero loss) because the enactment is CCR.
+// Autoscale: the paper's conclusion made concrete. Its migration
+// strategies exist to enable "diverse elastic scheduling scenarios";
+// this example hands a live Diamond dataflow to the closed-loop
+// controller in internal/autoscale and lets a ramping workload drive it:
+// the utilization-band policy spreads the deployment onto one-core VMs
+// when the stream runs hot, consolidates onto four-core VMs when it
+// thins, and every reallocation is enacted live with CCR — zero events
+// lost, state intact, hysteresis preventing thrash.
 //
 //	go run ./examples/autoscale
 package main
@@ -17,26 +16,27 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/core"
-	"repro/internal/scheduler"
 	"repro/internal/topology"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(0.01); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(scale float64) error {
+	// Deploy Diamond consolidated: 8 instances packed on 2 x D3 VMs, the
+	// off-peak shape of Table 1. Source, sink and the checkpoint
+	// coordinator sit on a pinned VM, never migrated.
 	spec := repro.Diamond()
-	clock := repro.NewScaledClock(0.02)
+	clock := repro.NewScaledClock(scale)
 	clus := repro.NewCluster()
 	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
 
-	// Deliberately overprovisioned start: 8 instances on 8 D1 VMs.
-	clus.Provision(repro.D1, spec.ScaleOutVMs, clock.Now())
+	fleet := repro.Fleet{Type: repro.D3, VMs: spec.ScaleInVMs}
+	clus.Provision(fleet.Type, fleet.VMs, clock.Now())
 	inner := spec.Topology.Instances(topology.RoleInner)
 	sched, err := (repro.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
 	if err != nil {
@@ -60,50 +60,74 @@ func run() error {
 	eng.Start()
 	defer eng.Stop()
 
-	ctrl := &core.Controller{
-		Engine:          eng,
-		Cluster:         clus,
-		Strategy:        repro.CCR{},
-		Scheduler:       scheduler.RoundRobin{},
-		ConsolidateType: repro.D3,
-		SpreadType:      repro.D1,
-		CapacityPerSlot: 10, // 100 ms tasks
-		Low:             0.5,
-		High:            0.9,
+	// The whole controller: a policy, an allocator, an enactor, a loop.
+	loop := &repro.AutoscaleLoop{
+		Engine:    eng,
+		Policy:    repro.UtilizationBand{Low: 0.5, High: 0.9},
+		Allocator: repro.DefaultAllocator(),
+		Enactor: &repro.Enactor{
+			Engine:    eng,
+			Cluster:   clus,
+			Strategy:  repro.CCR{},
+			Scheduler: repro.RoundRobin{},
+		},
+		Fleet:      fleet,
+		Window:     10 * time.Second,
+		Hysteresis: repro.Hysteresis{Confirm: 2, Cooldown: 45 * time.Second},
+		OnDecision: func(d repro.AutoscaleDecision) {
+			if d.Enacted {
+				fmt.Printf("  enacted: %s\n", d.Target.Reason)
+			}
+		},
 	}
 
-	fmt.Printf("start: %d x D1 VMs, billing %.4f/min\n", spec.ScaleOutVMs, clus.RatePerMinute())
-	clock.Sleep(45 * time.Second)
+	fmt.Printf("start: %d x %s, billing %.4f/min, 8 ev/s (utilization 0.80)\n",
+		fleet.VMs, fleet.Type.Name, clus.RatePerMinute())
+	clock.Sleep(30 * time.Second)
 
-	// The offered rate is 8 ev/s; Diamond's aggregate demand is
-	// 64 instance-ev/s over 8 slots = 8 ev/s per slot = utilization 0.8:
-	// inside the band, so no action.
-	rate := eng.Config().SourceRate
-	if plan := ctrl.Evaluate(rate, repro.D1, spec.ScaleOutVMs); plan != nil {
-		return fmt.Errorf("unexpected plan at nominal rate: %s", plan.Reason)
-	}
-	fmt.Println("at 8 ev/s: utilization 0.80 inside [0.50, 0.90] — no action")
-
-	// The stream thins to half rate (sampling change upstream):
-	// utilization drops to 0.4 — consolidate.
-	halfRate := rate / 2
-	plan := ctrl.Evaluate(halfRate, repro.D1, spec.ScaleOutVMs)
-	if plan == nil {
-		return fmt.Errorf("controller ignored underutilization")
-	}
-	fmt.Printf("at %.0f ev/s: %s\n", halfRate, plan.Reason)
-	fmt.Println("enacting with CCR...")
-	if err := ctrl.Apply(plan); err != nil {
+	// Rush hour: the stream climbs to 9.8 ev/s — utilization 0.98 breaks
+	// the band and the loop spreads the deployment live.
+	fmt.Println("\nramping to 9.8 ev/s...")
+	eng.SetSourceRate(9.8)
+	if err := waitForFleet(loop, clock, repro.D1, 3*time.Minute); err != nil {
 		return err
 	}
-	clock.Sleep(90 * time.Second)
+	fmt.Printf("spread onto %d x D1, billing %.4f/min\n", loop.Fleet.VMs, clus.RatePerMinute())
 
+	// Off-peak: the stream thins to 4 ev/s — utilization 0.40 and the
+	// loop consolidates back.
+	clock.Sleep(60 * time.Second)
+	fmt.Println("\nthinning to 4 ev/s...")
+	eng.SetSourceRate(4)
+	if err := waitForFleet(loop, clock, repro.D3, 4*time.Minute); err != nil {
+		return err
+	}
+	fmt.Printf("consolidated onto %d x D3, billing %.4f/min\n", loop.Fleet.VMs, clus.RatePerMinute())
+
+	// The reliability audit: two live migrations, not one event lost.
+	clock.Sleep(45 * time.Second)
 	lost := eng.Audit().Lost(clock.Now().Add(-30 * time.Second))
-	fmt.Printf("after consolidation: %d migrations, lost payloads: %d\n",
-		ctrl.Migrations(), len(lost))
+	fmt.Printf("\nafter %d migrations: lost payloads %d, duplicates %d\n",
+		loop.Enactor.Migrations(), len(lost), eng.Audit().Duplicates(eng.Fanout()))
 	if len(lost) != 0 {
 		return fmt.Errorf("autoscaling lost events")
 	}
-	fmt.Println("ok: the controller consolidated the deployment with zero loss")
+	fmt.Println("ok: the closed loop rescaled the deployment twice with zero loss")
+	return nil
+}
+
+// waitForFleet ticks the loop every 5 s until it lands on the wanted VM
+// flavor or the deadline passes.
+func waitForFleet(loop *repro.AutoscaleLoop, clock repro.Clock, want repro.VMType, limit time.Duration) error {
+	deadline := clock.Now().Add(limit)
+	for loop.Fleet.Type != want {
+		if clock.Now().After(deadline) {
+			return fmt.Errorf("loop never reached a %s fleet", want.Name)
+		}
+		clock.Sleep(5 * time.Second)
+		if _, err := loop.Tick(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -21,13 +21,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(0.02); err != nil {
 		fmt.Fprintln(os.Stderr, "gridmeter:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(scale float64) error {
 	spec := repro.Grid()
 	fmt.Printf("Smart-Grid analytics dataflow: %d tasks, %d instances, critical path %d\n",
 		spec.Tasks, spec.Instances, spec.Topology.CriticalPathLen())
@@ -35,7 +35,7 @@ func run() error {
 		spec.DefaultVMs, spec.ScaleInVMs)
 
 	runCfg := repro.RunConfig{
-		TimeScale:    0.02, // 50x compressed paper time
+		TimeScale:    scale,
 		PreMigration: 60 * time.Second,
 		PostHorizon:  540 * time.Second,
 		Seed:         7,

@@ -16,13 +16,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(0.02); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(scale float64) error {
 	// 1. Compose a dataflow: one source, three stateful stages, one sink.
 	b := repro.NewTopology("quickstart")
 	b.AddSource("Src", 1)
@@ -42,7 +42,7 @@ func run() error {
 	// 2. Deploy: two 2-core VMs for the tasks; source/sink/coordinator on
 	// a pinned 4-core VM — the paper's setup in miniature. Run 50× faster
 	// than real time.
-	clock := repro.NewScaledClock(0.02)
+	clock := repro.NewScaledClock(scale)
 	clus := repro.NewCluster()
 	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
 	clus.Provision(repro.D2, 2, clock.Now())

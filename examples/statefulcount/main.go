@@ -20,15 +20,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(0.02); err != nil {
 		fmt.Fprintln(os.Stderr, "statefulcount:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(scale float64) error {
 	spec := repro.Star()
-	clock := repro.NewScaledClock(0.02)
+	clock := repro.NewScaledClock(scale)
 	clus := repro.NewCluster()
 	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
 	clus.Provision(repro.D2, spec.DefaultVMs, clock.Now())

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// TestRunCompressed executes the example end to end on a sharply
+// compressed clock — the cheapest proof that the documented walkthrough
+// still works.
+func TestRunCompressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run; skipped in -short")
+	}
+	if err := run(0.004); err != nil {
+		t.Fatal(err)
+	}
+}

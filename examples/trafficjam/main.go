@@ -17,13 +17,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(0.02); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficjam:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(scale float64) error {
 	spec := repro.Traffic()
 	fmt.Printf("GPS traffic pipeline: %d tasks, %d instances; scale-out %d x D2 -> %d x D1\n\n",
 		spec.Tasks, spec.Instances, spec.DefaultVMs, spec.ScaleOutVMs)
@@ -36,7 +36,7 @@ func run() error {
 			Strategy:  strat,
 			Direction: repro.ScaleOut,
 			Run: repro.RunConfig{
-				TimeScale:    0.02,
+				TimeScale:    scale,
 				PreMigration: 60 * time.Second,
 				PostHorizon:  540 * time.Second,
 				Seed:         13,

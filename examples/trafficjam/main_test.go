@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// TestRunCompressed executes the example end to end on a sharply
+// compressed clock. It compares several strategies on an application
+// DAG, so it is the priciest smoke test — skipped in -short.
+func TestRunCompressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy engine runs; skipped in -short")
+	}
+	if err := run(0.004); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+// Target is a concrete fleet to move the inner tasks onto.
+type Target struct {
+	// Fleet is the VM flavor and count to provision.
+	Fleet Fleet
+	// Verdict is the direction that produced this target.
+	Verdict Verdict
+	// Reason explains the decision, composed from the policy's reason.
+	Reason string
+}
+
+// Allocator maps a confirmed scale direction onto a concrete fleet,
+// following the paper's two Cloud scenarios: scale-in packs the slots
+// onto few multi-slot VMs (Consolidate, D3 in Table 1), scale-out gives
+// every instance its own single-slot VM (Spread, D1). Parallelism is
+// fixed at deployment — one slot per inner instance — so the slot count
+// never changes, only the fleet shape and bill.
+type Allocator struct {
+	// Consolidate is the multi-slot flavor used for scale-in.
+	Consolidate cluster.VMType
+	// Spread is the (typically one-slot) flavor used for scale-out.
+	Spread cluster.VMType
+}
+
+// DefaultAllocator consolidates onto D3 and spreads onto D1, as in the
+// paper's Table 1.
+func DefaultAllocator() Allocator {
+	return Allocator{Consolidate: cluster.D3, Spread: cluster.D1}
+}
+
+// Plan turns an admitted recommendation into a Target, or nil when the
+// verdict is Hold or the fleet already has the target shape.
+func (a Allocator) Plan(r Recommendation, slots int, cur Fleet) *Target {
+	var t cluster.VMType
+	switch r.Verdict {
+	case ScaleIn:
+		t = a.Consolidate
+	case ScaleOut:
+		t = a.Spread
+	default:
+		return nil
+	}
+	vms := int(math.Ceil(float64(slots) / float64(t.Slots)))
+	if cur.Type == t && cur.VMs == vms {
+		return nil // already in the target shape
+	}
+	return &Target{
+		Fleet:   Fleet{Type: t, VMs: vms},
+		Verdict: r.Verdict,
+		Reason: fmt.Sprintf("%s: %s; repack %d slots from %d x %s to %d x %s",
+			r.Verdict, r.Reason, slots, cur.VMs, cur.Type.Name, vms, t.Name),
+	}
+}
+
+// Enactment records one completed (or failed) reallocation.
+type Enactment struct {
+	// At is the paper-time instant the enactment was requested.
+	At time.Time
+	// Took is how long the live migration ran (paper time).
+	Took time.Duration
+	// Target is what was enacted.
+	Target Target
+	// Err records a failed migration (nil on success). On failure the
+	// dataflow keeps running on its old fleet.
+	Err error
+}
+
+// Enactor performs a planned reallocation: provision the target fleet,
+// place the inner instances with the Scheduler, migrate live with the
+// Strategy, then release the old fleet. With DCR or CCR the migration is
+// reliable — no message loss, no duplicates, state intact — which is
+// precisely what makes running it from an automated loop safe.
+type Enactor struct {
+	// Engine is the running dataflow.
+	Engine *runtime.Engine
+	// Cluster supplies and receives VMs.
+	Cluster *cluster.Cluster
+	// Strategy enacts the migrations (DCR or CCR recommended; DSM will
+	// work but loses and replays in-flight events on every reallocation).
+	Strategy core.Strategy
+	// Scheduler places instances on the new slot pool.
+	Scheduler scheduler.Scheduler
+	// KeepOldVMs leaves the old fleet provisioned after a successful
+	// migration (callers that manage rollback pools may want it).
+	KeepOldVMs bool
+
+	mu      sync.Mutex
+	history []Enactment
+}
+
+// Enact performs the reallocation. On success the old unpinned fleet is
+// released (unless KeepOldVMs). On failure the freshly provisioned VMs
+// are released and the dataflow keeps running on the old fleet.
+func (e *Enactor) Enact(t *Target) error {
+	if t == nil {
+		return nil
+	}
+	clock := e.Engine.Clock()
+	start := clock.Now()
+	oldVMs := e.Cluster.UnpinnedVMs()
+
+	vms := e.Cluster.Provision(t.Fleet.Type, t.Fleet.VMs, start)
+	var slots []cluster.SlotRef
+	for _, vm := range vms {
+		slots = append(slots, vm.Slots()...)
+	}
+	release := func(set []*cluster.VM) error {
+		for _, vm := range set {
+			if err := e.Cluster.Release(vm.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	inner := e.Engine.Topology().Instances(topology.RoleInner)
+	sched, err := e.Scheduler.Place(inner, slots)
+	if err != nil {
+		err = fmt.Errorf("autoscale: placement: %w", err)
+		if rerr := release(vms); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+		return err
+	}
+
+	err = e.Strategy.Migrate(e.Engine, sched)
+	rec := Enactment{At: start, Took: clock.Now().Sub(start), Target: *t, Err: err}
+	e.mu.Lock()
+	e.history = append(e.history, rec)
+	e.mu.Unlock()
+
+	if err != nil {
+		// Neither fleet is released: a failed checkpoint rolled the
+		// dataflow back onto the old VMs, but a failed INIT leaves it
+		// half-restored on the new ones — the operator (or a retry)
+		// decides, with both pools intact.
+		return fmt.Errorf("autoscale: enactment: %w", err)
+	}
+	if !e.KeepOldVMs {
+		if rerr := release(oldVMs); rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// History returns a copy of all enactments so far, successful or not.
+func (e *Enactor) History() []Enactment {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Enactment, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Migrations reports how many reallocations completed successfully.
+func (e *Enactor) Migrations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, h := range e.history {
+		if h.Err == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package autoscale
+
+import (
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Decision is what one Tick concluded, handed to the OnDecision hook.
+type Decision struct {
+	// Snapshot is the observation the decision was made on.
+	Snapshot Snapshot
+	// Raw is the policy's unfiltered recommendation.
+	Raw Recommendation
+	// Admitted is the recommendation after hysteresis/cooldown.
+	Admitted Recommendation
+	// Target is the planned fleet (nil when holding or already shaped).
+	Target *Target
+	// Enacted reports whether a migration was performed this tick.
+	Enacted bool
+	// Err is the enactment error, if any.
+	Err error
+}
+
+// Loop is the closed elasticity loop: observe the engine, consult the
+// policy, debounce with hysteresis, allocate a fleet, and enact with a
+// migration strategy. Construct with the fields set, then call Run (or
+// Tick from your own scheduler).
+type Loop struct {
+	// Engine is the running dataflow.
+	Engine *runtime.Engine
+	// Policy recommends scale directions.
+	Policy Policy
+	// Allocator maps directions to fleets.
+	Allocator Allocator
+	// Enactor performs the migrations.
+	Enactor *Enactor
+	// Fleet is the current inner-task pool; updated after every
+	// successful enactment.
+	Fleet Fleet
+	// Window is the trailing observation interval (e.g. 10 s).
+	Window time.Duration
+	// Hysteresis debounces recommendations. Zero values admit everything
+	// immediately — set Confirm and Cooldown for production loops.
+	Hysteresis Hysteresis
+	// OnDecision, when set, observes every tick (logging, experiments).
+	OnDecision func(Decision)
+}
+
+// Tick runs one observe → plan → enact round and reports what happened.
+// A nil error with Enacted=false means the loop decided to hold.
+func (l *Loop) Tick() (Decision, error) {
+	snap := Observe(l.Engine, l.Fleet, l.Window)
+	raw := l.Policy.Recommend(snap)
+	admitted := l.Hysteresis.Admit(snap.Time, raw)
+	d := Decision{Snapshot: snap, Raw: raw, Admitted: admitted}
+
+	if admitted.Verdict != Hold {
+		d.Target = l.Allocator.Plan(admitted, snap.Slots, l.Fleet)
+	}
+	if d.Target != nil {
+		d.Err = l.Enactor.Enact(d.Target)
+		l.Hysteresis.NoteEnactment(l.Engine.Clock().Now())
+		if d.Err == nil {
+			d.Enacted = true
+			l.Fleet = d.Target.Fleet
+		}
+	}
+	if l.OnDecision != nil {
+		l.OnDecision(d)
+	}
+	return d, d.Err
+}
+
+// Run polls every interval for the given number of rounds (forever when
+// rounds is 0), stopping early on an enactment error.
+func (l *Loop) Run(interval time.Duration, rounds int) error {
+	for i := 0; rounds == 0 || i < rounds; i++ {
+		l.Engine.Clock().Sleep(interval)
+		if _, err := l.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

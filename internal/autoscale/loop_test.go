@@ -1,0 +1,175 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// startDiamond deploys the Diamond dataflow consolidated on 2 x D3 and
+// returns the engine, cluster and initial fleet.
+func startDiamond(t *testing.T, scale float64, mode runtime.Mode) (*runtime.Engine, *cluster.Cluster, Fleet) {
+	t.Helper()
+	spec := dataflows.Diamond()
+	clock := timex.NewScaled(scale)
+	clus := cluster.New()
+	pinned := clus.ProvisionPinned(cluster.D3, clock.Now())
+
+	fleet := Fleet{Type: cluster.D3, VMs: spec.ScaleInVMs}
+	clus.Provision(fleet.Type, fleet.VMs, clock.Now())
+	inner := spec.Topology.Instances(topology.RoleInner)
+	sched, err := (scheduler.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := runtime.New(runtime.Params{
+		Topology:      spec.Topology,
+		Factory:       workload.CountFactory,
+		Clock:         clock,
+		Config:        runtime.DefaultConfig(mode),
+		InnerSchedule: sched,
+		Pinned: map[topology.Instance]cluster.SlotRef{
+			{Task: dataflows.SourceName, Index: 0}: pinned.Slots()[0],
+			{Task: dataflows.SinkName, Index: 0}:   pinned.Slots()[1],
+		},
+		CoordinatorSlot: pinned.Slots()[2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	t.Cleanup(eng.Stop)
+	return eng, clus, fleet
+}
+
+// TestLoopRampScaleOutThenIn is the subsystem's end-to-end check: a
+// ramping workload drives the closed loop through a reliable CCR
+// scale-out (2 x D3 -> 8 x D1) and, after the rate falls, a scale-in
+// back to 2 x D3 — with zero message loss across both live migrations.
+func TestLoopRampScaleOutThenIn(t *testing.T) {
+	eng, clus, fleet := startDiamond(t, 0.005, runtime.ModeCCR)
+	clock := eng.Clock()
+
+	enactor := &Enactor{
+		Engine:    eng,
+		Cluster:   clus,
+		Strategy:  core.CCR{},
+		Scheduler: scheduler.RoundRobin{},
+	}
+	loop := &Loop{
+		Engine:     eng,
+		Policy:     UtilizationBand{Low: 0.5, High: 0.9},
+		Allocator:  DefaultAllocator(),
+		Enactor:    enactor,
+		Fleet:      fleet,
+		Window:     10 * time.Second,
+		Hysteresis: Hysteresis{Confirm: 2, Cooldown: 45 * time.Second},
+	}
+
+	// Steady state at 8 ev/s: utilization 0.80, inside the band.
+	clock.Sleep(30 * time.Second)
+	if d, err := loop.Tick(); err != nil || d.Enacted {
+		t.Fatalf("nominal rate caused action: enacted=%v err=%v (%s)", d.Enacted, err, d.Admitted.Reason)
+	}
+
+	// Ramp up to 9.8 ev/s: utilization 0.98 exceeds 0.9 -> scale out.
+	eng.SetSourceRate(9.8)
+	deadline := clock.Now().Add(3 * time.Minute)
+	for loop.Fleet.Type != cluster.D1 {
+		if clock.Now().After(deadline) {
+			t.Fatalf("loop never scaled out; fleet still %d x %s", loop.Fleet.VMs, loop.Fleet.Type.Name)
+		}
+		clock.Sleep(5 * time.Second)
+		if _, err := loop.Tick(); err != nil {
+			t.Fatalf("tick during ramp-up: %v", err)
+		}
+	}
+	if loop.Fleet.VMs != 8 {
+		t.Fatalf("scale-out fleet: got %d x %s, want 8 x D1", loop.Fleet.VMs, loop.Fleet.Type.Name)
+	}
+
+	// Let the burst drain and the dataflow re-stabilize, then thin the
+	// stream to 4 ev/s: utilization 0.40 -> consolidate.
+	clock.Sleep(60 * time.Second)
+	eng.SetSourceRate(4)
+	deadline = clock.Now().Add(4 * time.Minute)
+	for loop.Fleet.Type != cluster.D3 {
+		if clock.Now().After(deadline) {
+			t.Fatalf("loop never scaled back in; fleet still %d x %s", loop.Fleet.VMs, loop.Fleet.Type.Name)
+		}
+		clock.Sleep(5 * time.Second)
+		if _, err := loop.Tick(); err != nil {
+			t.Fatalf("tick during ramp-down: %v", err)
+		}
+	}
+	if loop.Fleet.VMs != 2 {
+		t.Fatalf("scale-in fleet: got %d x %s, want 2 x D3", loop.Fleet.VMs, loop.Fleet.Type.Name)
+	}
+
+	// Drain in-flight work, then audit reliability across both migrations.
+	clock.Sleep(45 * time.Second)
+	if n := enactor.Migrations(); n != 2 {
+		t.Errorf("migrations: got %d, want 2", n)
+	}
+	if lost := eng.Audit().Lost(clock.Now().Add(-30 * time.Second)); len(lost) != 0 {
+		t.Errorf("autoscaling lost %d payloads", len(lost))
+	}
+	if dup := eng.Audit().Duplicates(eng.Fanout()); dup != 0 {
+		t.Errorf("autoscaling duplicated %d payloads", dup)
+	}
+	// The cluster must hold exactly the pinned VM plus the final fleet:
+	// old fleets were released on each successful enactment.
+	if got := len(clus.UnpinnedVMs()); got != 2 {
+		t.Errorf("unpinned VMs after consolidation: got %d, want 2", got)
+	}
+}
+
+// TestLoopHysteresisPreventsThrash drives the loop with a rate that sits
+// just outside the band and verifies the confirmation requirement delays
+// enactment until the signal persists.
+func TestLoopHysteresisPreventsThrash(t *testing.T) {
+	eng, clus, fleet := startDiamond(t, 0.005, runtime.ModeCCR)
+	clock := eng.Clock()
+
+	enactor := &Enactor{Engine: eng, Cluster: clus, Strategy: core.CCR{}, Scheduler: scheduler.RoundRobin{}}
+	loop := &Loop{
+		Engine:     eng,
+		Policy:     UtilizationBand{Low: 0.5, High: 0.9},
+		Allocator:  DefaultAllocator(),
+		Enactor:    enactor,
+		Fleet:      fleet,
+		Window:     10 * time.Second,
+		Hysteresis: Hysteresis{Confirm: 3, Cooldown: time.Minute},
+	}
+
+	clock.Sleep(30 * time.Second)
+	eng.SetSourceRate(9.8)
+	clock.Sleep(20 * time.Second) // let the window see the new rate
+
+	// Two sightings: confirmed only on the third.
+	for i := 0; i < 2; i++ {
+		d, err := loop.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Enacted {
+			t.Fatalf("tick %d enacted before confirmation", i+1)
+		}
+		clock.Sleep(5 * time.Second)
+	}
+	d, err := loop.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Enacted {
+		t.Fatalf("third consecutive sighting did not enact: %s", d.Admitted.Reason)
+	}
+}

@@ -1,0 +1,249 @@
+package autoscale
+
+import (
+	"fmt"
+	"time"
+)
+
+// Verdict is a policy's recommended scale direction.
+type Verdict int
+
+// Verdicts. Hold means the deployment should stay as it is.
+const (
+	Hold Verdict = iota
+	ScaleIn
+	ScaleOut
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case ScaleIn:
+		return "scale-in"
+	case ScaleOut:
+		return "scale-out"
+	default:
+		return "hold"
+	}
+}
+
+// Recommendation is a policy's decision for one observation.
+type Recommendation struct {
+	// Verdict is the recommended direction.
+	Verdict Verdict
+	// Reason explains the decision for operators and logs.
+	Reason string
+}
+
+// hold builds a Hold recommendation.
+func hold(format string, args ...any) Recommendation {
+	return Recommendation{Verdict: Hold, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Policy recommends a scale direction from one observation of the
+// running dataflow. Implementations must be pure over the Snapshot —
+// debouncing and cooldown are Hysteresis's job, enactment the Enactor's.
+type Policy interface {
+	// Name identifies the policy in experiment tables and logs.
+	Name() string
+	// Recommend inspects the snapshot and recommends a direction.
+	Recommend(s Snapshot) Recommendation
+}
+
+// --- utilization band -------------------------------------------------------
+
+// UtilizationBand scales on offered load versus aggregate slot capacity:
+// consolidate below Low, spread above High — the generalization of the
+// paper's two Cloud scenarios (and of the original examples/autoscale
+// controller). It is the cheapest signal to compute but assumes the
+// demand model (selectivity, task cost) is accurate.
+type UtilizationBand struct {
+	// Low and High bound the acceptable utilization band, e.g. 0.5, 0.9.
+	Low, High float64
+}
+
+var _ Policy = UtilizationBand{}
+
+// Name implements Policy.
+func (UtilizationBand) Name() string { return "util-band" }
+
+// Recommend implements Policy.
+func (p UtilizationBand) Recommend(s Snapshot) Recommendation {
+	u := s.Utilization()
+	switch {
+	case u > p.High:
+		return Recommendation{ScaleOut, fmt.Sprintf("utilization %.2f above %.2f", u, p.High)}
+	case u < p.Low:
+		return Recommendation{ScaleIn, fmt.Sprintf("utilization %.2f below %.2f", u, p.Low)}
+	default:
+		return hold("utilization %.2f inside [%.2f, %.2f]", u, p.Low, p.High)
+	}
+}
+
+// --- queue backpressure -----------------------------------------------------
+
+// QueueBackpressure scales on observed queue depth: growing input queues
+// are the direct symptom of instances falling behind, independent of any
+// demand model. Spread when any instance's queue exceeds HighDepth;
+// consolidate when queues are drained AND utilization shows idle
+// capacity (queue emptiness alone cannot distinguish "comfortable" from
+// "wastefully overprovisioned").
+type QueueBackpressure struct {
+	// HighDepth is the per-instance queue depth that signals overload.
+	HighDepth int
+	// DrainedDepth is the max depth still considered "drained" (e.g. 1).
+	DrainedDepth int
+	// IdleUtil is the utilization below which a drained dataflow is
+	// deemed overprovisioned, e.g. 0.5.
+	IdleUtil float64
+}
+
+var _ Policy = QueueBackpressure{}
+
+// Name implements Policy.
+func (QueueBackpressure) Name() string { return "queue" }
+
+// Recommend implements Policy.
+func (p QueueBackpressure) Recommend(s Snapshot) Recommendation {
+	if s.MaxQueue > p.HighDepth {
+		return Recommendation{ScaleOut, fmt.Sprintf("max queue depth %d above %d", s.MaxQueue, p.HighDepth)}
+	}
+	if u := s.Utilization(); s.MaxQueue <= p.DrainedDepth && u < p.IdleUtil {
+		return Recommendation{ScaleIn, fmt.Sprintf("queues drained (max %d) and utilization %.2f below %.2f", s.MaxQueue, u, p.IdleUtil)}
+	}
+	return hold("max queue depth %d within bounds", s.MaxQueue)
+}
+
+// --- latency SLO ------------------------------------------------------------
+
+// LatencySLO scales on the observed sink tail latency against a
+// service-level objective: spread when the chosen quantile exceeds SLO,
+// consolidate when it sits below ScaleInFraction×SLO (ample headroom).
+// This is the signal an operator actually contracts on, but it reacts
+// later than queue depth — latency degrades only after queues build.
+type LatencySLO struct {
+	// SLO is the tail latency objective.
+	SLO time.Duration
+	// ScaleInFraction is the fraction of SLO under which the deployment
+	// is considered overprovisioned, e.g. 0.5.
+	ScaleInFraction float64
+	// MinSamples gates decisions on sparse windows (e.g. mid-migration,
+	// when the sink is paused and the window holds few arrivals).
+	MinSamples int
+}
+
+var _ Policy = LatencySLO{}
+
+// Name implements Policy.
+func (LatencySLO) Name() string { return "latency-slo" }
+
+// Recommend implements Policy. The P95 quantile is judged.
+func (p LatencySLO) Recommend(s Snapshot) Recommendation {
+	if s.Latency.Count < p.MinSamples {
+		return hold("only %d latency samples in window (min %d)", s.Latency.Count, p.MinSamples)
+	}
+	p95 := s.Latency.P95
+	switch {
+	case p95 > p.SLO:
+		return Recommendation{ScaleOut, fmt.Sprintf("p95 latency %v above SLO %v", p95.Round(time.Millisecond), p.SLO)}
+	case float64(p95) < p.ScaleInFraction*float64(p.SLO):
+		return Recommendation{ScaleIn, fmt.Sprintf("p95 latency %v below %.0f%% of SLO %v", p95.Round(time.Millisecond), p.ScaleInFraction*100, p.SLO)}
+	default:
+		return hold("p95 latency %v within SLO %v", p95.Round(time.Millisecond), p.SLO)
+	}
+}
+
+// --- registry ---------------------------------------------------------------
+
+// Default policy constructors with the tunings used by the experiments:
+// a [0.5, 0.9] utilization band, overload at queue depth 8, and a 2 s
+// end-to-end SLO (the benchmark DAGs' steady p95 sits near 0.5–1 s).
+func DefaultUtilizationBand() UtilizationBand {
+	return UtilizationBand{Low: 0.5, High: 0.9}
+}
+
+// DefaultQueueBackpressure returns the experiments' queue policy tuning.
+func DefaultQueueBackpressure() QueueBackpressure {
+	return QueueBackpressure{HighDepth: 8, DrainedDepth: 1, IdleUtil: 0.5}
+}
+
+// DefaultLatencySLO returns the experiments' latency policy tuning.
+func DefaultLatencySLO() LatencySLO {
+	return LatencySLO{SLO: 2 * time.Second, ScaleInFraction: 0.5, MinSamples: 8}
+}
+
+// ByName resolves a shipped policy (with its default tuning) by name:
+// util-band, queue, or latency-slo.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "util-band", "util":
+		return DefaultUtilizationBand(), nil
+	case "queue", "backpressure":
+		return DefaultQueueBackpressure(), nil
+	case "latency-slo", "latency":
+		return DefaultLatencySLO(), nil
+	default:
+		return nil, fmt.Errorf("autoscale: unknown policy %q", name)
+	}
+}
+
+// All returns the three shipped policies with default tunings.
+func All() []Policy {
+	return []Policy{DefaultUtilizationBand(), DefaultQueueBackpressure(), DefaultLatencySLO()}
+}
+
+// --- hysteresis -------------------------------------------------------------
+
+// Hysteresis debounces policy output so the loop cannot thrash: a
+// non-hold verdict is admitted only after it has been recommended for
+// Confirm consecutive observations, and every enactment opens a Cooldown
+// during which all verdicts are held (migration churn — paused sources,
+// the post-unpause burst, workers still starting — would otherwise read
+// as load swings and re-trigger the controller).
+type Hysteresis struct {
+	// Confirm is the number of consecutive identical non-hold verdicts
+	// required before one is admitted. Zero or one admits immediately.
+	Confirm int
+	// Cooldown holds all verdicts for this long after an enactment.
+	Cooldown time.Duration
+
+	streak      int
+	lastVerdict Verdict
+	lastEnact   time.Time
+	hasEnacted  bool
+}
+
+// Admit filters one recommendation, returning what the loop should act
+// on: the recommendation itself once confirmed, or a Hold explaining why
+// it is suppressed.
+func (h *Hysteresis) Admit(now time.Time, r Recommendation) Recommendation {
+	if h.hasEnacted && now.Sub(h.lastEnact) < h.Cooldown {
+		h.streak = 0
+		h.lastVerdict = Hold
+		return hold("cooling down after enactment at %v", h.lastEnact.Format("15:04:05"))
+	}
+	if r.Verdict == Hold {
+		h.streak = 0
+		h.lastVerdict = Hold
+		return r
+	}
+	if r.Verdict == h.lastVerdict {
+		h.streak++
+	} else {
+		h.streak = 1
+		h.lastVerdict = r.Verdict
+	}
+	if h.streak < h.Confirm {
+		return hold("%s pending confirmation (%d/%d): %s", r.Verdict, h.streak, h.Confirm, r.Reason)
+	}
+	return r
+}
+
+// NoteEnactment records an enactment instant, opening the cooldown and
+// resetting the confirmation streak.
+func (h *Hysteresis) NoteEnactment(now time.Time) {
+	h.lastEnact = now
+	h.hasEnacted = true
+	h.streak = 0
+	h.lastVerdict = Hold
+}

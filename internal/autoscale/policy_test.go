@@ -1,0 +1,188 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// snap builds a Diamond-shaped snapshot: 8 slots, 10 ev/s per-slot
+// capacity, demand multiplier 8 — so utilization == rate/10.
+func snap(rate float64) Snapshot {
+	return Snapshot{
+		OfferedRate:       rate,
+		ConfiguredRate:    rate,
+		Slots:             8,
+		CapacityPerSlot:   10,
+		DemandPerSourceEv: 8,
+		Fleet:             Fleet{Type: cluster.D3, VMs: 2},
+	}
+}
+
+func TestUtilizationBandVerdicts(t *testing.T) {
+	p := UtilizationBand{Low: 0.5, High: 0.9}
+	cases := []struct {
+		rate float64
+		want Verdict
+	}{
+		{8, Hold}, // util 0.80 inside the band
+		{5, Hold}, // util 0.50 sits on Low: not below
+		{4.9, ScaleIn},
+		{9.5, ScaleOut},
+		{9, Hold}, // util 0.90 sits on High: not above
+	}
+	for _, c := range cases {
+		if got := p.Recommend(snap(c.rate)); got.Verdict != c.want {
+			t.Errorf("rate %.1f: got %v (%s), want %v", c.rate, got.Verdict, got.Reason, c.want)
+		}
+	}
+}
+
+func TestUtilizationZeroCapacity(t *testing.T) {
+	s := snap(8)
+	s.CapacityPerSlot = 0
+	if u := s.Utilization(); u != 0 {
+		t.Fatalf("zero capacity should yield utilization 0, got %f", u)
+	}
+}
+
+func TestQueueBackpressureVerdicts(t *testing.T) {
+	p := QueueBackpressure{HighDepth: 8, DrainedDepth: 1, IdleUtil: 0.5}
+
+	s := snap(8)
+	s.MaxQueue = 12
+	if got := p.Recommend(s); got.Verdict != ScaleOut {
+		t.Errorf("deep queue: got %v, want scale-out", got.Verdict)
+	}
+
+	s = snap(3) // util 0.3, drained
+	s.MaxQueue = 0
+	if got := p.Recommend(s); got.Verdict != ScaleIn {
+		t.Errorf("drained and idle: got %v, want scale-in", got.Verdict)
+	}
+
+	s = snap(8) // util 0.8: drained but busy — emptiness alone must not consolidate
+	s.MaxQueue = 1
+	if got := p.Recommend(s); got.Verdict != Hold {
+		t.Errorf("drained but busy: got %v, want hold", got.Verdict)
+	}
+
+	s = snap(3) // idle but not drained (e.g. mid-recovery)
+	s.MaxQueue = 4
+	if got := p.Recommend(s); got.Verdict != Hold {
+		t.Errorf("idle but queued: got %v, want hold", got.Verdict)
+	}
+}
+
+func TestLatencySLOVerdicts(t *testing.T) {
+	p := LatencySLO{SLO: 2 * time.Second, ScaleInFraction: 0.5, MinSamples: 8}
+	withLatency := func(p95 time.Duration, n int) Snapshot {
+		s := snap(8)
+		s.Latency = metrics.LatencyDigest{Count: n, P95: p95}
+		return s
+	}
+
+	if got := p.Recommend(withLatency(3*time.Second, 100)); got.Verdict != ScaleOut {
+		t.Errorf("SLO breach: got %v, want scale-out", got.Verdict)
+	}
+	if got := p.Recommend(withLatency(500*time.Millisecond, 100)); got.Verdict != ScaleIn {
+		t.Errorf("ample headroom: got %v, want scale-in", got.Verdict)
+	}
+	if got := p.Recommend(withLatency(1500*time.Millisecond, 100)); got.Verdict != Hold {
+		t.Errorf("inside SLO: got %v, want hold", got.Verdict)
+	}
+	// Sparse windows (paused sink mid-migration) must not trigger anything.
+	if got := p.Recommend(withLatency(3*time.Second, 2)); got.Verdict != Hold {
+		t.Errorf("sparse window: got %v (%s), want hold", got.Verdict, got.Reason)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"util-band", "queue", "latency-slo"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+	if got := len(All()); got != 3 {
+		t.Errorf("All() returned %d policies, want 3", got)
+	}
+}
+
+func TestHysteresisConfirmation(t *testing.T) {
+	h := Hysteresis{Confirm: 2, Cooldown: 30 * time.Second}
+	t0 := time.Unix(1000, 0)
+	out := Recommendation{ScaleOut, "hot"}
+
+	if got := h.Admit(t0, out); got.Verdict != Hold {
+		t.Fatalf("first sighting admitted: %v", got)
+	}
+	if got := h.Admit(t0.Add(5*time.Second), out); got.Verdict != ScaleOut {
+		t.Fatalf("second consecutive sighting suppressed: %v", got)
+	}
+}
+
+func TestHysteresisStreakResetOnFlip(t *testing.T) {
+	h := Hysteresis{Confirm: 2}
+	t0 := time.Unix(1000, 0)
+	if got := h.Admit(t0, Recommendation{ScaleOut, "hot"}); got.Verdict != Hold {
+		t.Fatal("first scale-out admitted")
+	}
+	// A flip to scale-in must restart the count, not inherit the streak.
+	if got := h.Admit(t0.Add(time.Second), Recommendation{ScaleIn, "cold"}); got.Verdict != Hold {
+		t.Fatal("flipped verdict admitted without confirmation")
+	}
+	// And an interleaved hold clears it entirely.
+	h.Admit(t0.Add(2*time.Second), Recommendation{Verdict: Hold})
+	if got := h.Admit(t0.Add(3*time.Second), Recommendation{ScaleIn, "cold"}); got.Verdict != Hold {
+		t.Fatal("streak survived an interleaved hold")
+	}
+}
+
+func TestHysteresisCooldown(t *testing.T) {
+	h := Hysteresis{Confirm: 1, Cooldown: 30 * time.Second}
+	t0 := time.Unix(1000, 0)
+	h.NoteEnactment(t0)
+
+	if got := h.Admit(t0.Add(10*time.Second), Recommendation{ScaleOut, "hot"}); got.Verdict != Hold {
+		t.Fatalf("verdict admitted during cooldown: %v", got)
+	}
+	if got := h.Admit(t0.Add(31*time.Second), Recommendation{ScaleOut, "hot"}); got.Verdict != ScaleOut {
+		t.Fatalf("verdict suppressed after cooldown: %v", got)
+	}
+}
+
+func TestAllocatorPlan(t *testing.T) {
+	a := DefaultAllocator()
+	cur := Fleet{Type: cluster.D3, VMs: 2} // 8 slots consolidated
+
+	out := a.Plan(Recommendation{ScaleOut, "hot"}, 8, cur)
+	if out == nil || out.Fleet.Type != cluster.D1 || out.Fleet.VMs != 8 {
+		t.Fatalf("scale-out plan: %+v", out)
+	}
+	if a.Plan(Recommendation{ScaleIn, "cold"}, 8, cur) != nil {
+		t.Fatal("scale-in from the consolidated shape should be a no-op")
+	}
+	if a.Plan(Recommendation{Verdict: Hold}, 8, cur) != nil {
+		t.Fatal("hold must not produce a target")
+	}
+
+	spread := Fleet{Type: cluster.D1, VMs: 8}
+	in := a.Plan(Recommendation{ScaleIn, "cold"}, 8, spread)
+	if in == nil || in.Fleet.Type != cluster.D3 || in.Fleet.VMs != 2 {
+		t.Fatalf("scale-in plan: %+v", in)
+	}
+	// Odd slot counts round the VM count up.
+	odd := a.Plan(Recommendation{ScaleIn, "cold"}, 5, spread)
+	if odd == nil || odd.Fleet.VMs != 2 {
+		t.Fatalf("ceil division broken: %+v", odd)
+	}
+}

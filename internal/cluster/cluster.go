@@ -163,6 +163,18 @@ func (c *Cluster) UnpinnedSlots() []SlotRef {
 	return out
 }
 
+// UnpinnedVMs returns all non-pinned VMs in ID order — the migratable
+// fleet an elasticity controller repacks and releases.
+func (c *Cluster) UnpinnedVMs() []*VM {
+	var out []*VM
+	for _, vm := range c.VMs() {
+		if !vm.Pinned {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
 // PinnedSlots enumerates the slots of pinned VMs.
 func (c *Cluster) PinnedSlots() []SlotRef {
 	var out []SlotRef

@@ -29,6 +29,11 @@ import (
 // per-instance utilization sinks below Low (cheaper, better locality),
 // spread onto single-slot VMs when it climbs above High (full core per
 // instance, no neighbors).
+//
+// For the full closed-loop subsystem — pluggable policies over live
+// observations, hysteresis/cooldown, automatic fleet release — use
+// internal/autoscale; this Controller remains as the minimal
+// single-shot evaluate/apply planner.
 type Controller struct {
 	// Engine is the running dataflow.
 	Engine *runtime.Engine

@@ -13,6 +13,11 @@
 //  6. Rate Stabilization Time — request → start of the first 60 s window
 //     whose output rate stays within ±20% of the expected stable rate.
 //  7. Message Loss/Recovery Count — events replayed due to the migration.
+//
+// The Collector also answers live queries while the dataflow runs:
+// Window returns trailing input/output rates and latency quantiles
+// (WindowStats), the observation feed of the internal/autoscale
+// controller.
 package metrics
 
 import (
@@ -88,6 +93,9 @@ type Collector struct {
 	latSum   map[int]time.Duration // sum of sink latencies per bin
 	latCount map[int]int
 
+	recentLat   map[int][]time.Duration // per-bin samples for Window queries
+	recentFloor int                     // lowest bin still retained in recentLat
+
 	firstSinkAfterReq time.Time
 	lastPreMigration  time.Time
 	lastReplayed      time.Time
@@ -100,12 +108,13 @@ type Collector struct {
 // NewCollector starts a collector; the run origin is the clock's now.
 func NewCollector(clock timex.Clock) *Collector {
 	return &Collector{
-		clock:    clock,
-		start:    clock.Now(),
-		inBins:   make(map[int]int),
-		outBins:  make(map[int]int),
-		latSum:   make(map[int]time.Duration),
-		latCount: make(map[int]int),
+		clock:     clock,
+		start:     clock.Now(),
+		inBins:    make(map[int]int),
+		outBins:   make(map[int]int),
+		latSum:    make(map[int]time.Duration),
+		latCount:  make(map[int]int),
+		recentLat: make(map[int][]time.Duration),
 	}
 }
 
@@ -177,6 +186,7 @@ func (c *Collector) SinkReceive(ev *tuple.Event) {
 	c.outBins[b]++
 	c.latSum[b] += latency
 	c.latCount[b]++
+	c.recordRecentLocked(b, latency)
 	c.sinkCount++
 
 	if !c.hasReq {

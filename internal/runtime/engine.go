@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -75,7 +76,8 @@ type Engine struct {
 	statefulInsts []topology.Instance
 
 	migration atomic.Bool
-	lostKill  atomic.Int64 // data events dropped by executor kills
+	lostKill  atomic.Int64  // data events dropped by executor kills
+	srcRate   atomic.Uint64 // live per-source rate (math.Float64bits)
 
 	wg sync.WaitGroup
 }
@@ -107,6 +109,7 @@ func New(p Params) (*Engine, error) {
 		shuffle:       make(map[edgeKey]*atomic.Uint64),
 		expectAlign:   make(map[string]int),
 	}
+	e.srcRate.Store(math.Float64bits(p.Config.SourceRate))
 	e.ack = acker.New(p.Clock, ackTimeoutFor(p.Config), p.Config.AckBuckets)
 	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.deliver)
 	e.coord = checkpoint.NewCoordinator(p.Clock, (*engineTransport)(e), e.idgen)
@@ -267,9 +270,18 @@ func (e *Engine) Config() Config { return e.cfg }
 // Topology returns the running dataflow.
 func (e *Engine) Topology() *topology.Topology { return e.topo }
 
-// ExpectedSinkRate returns the steady-state sink input rate in ev/s.
+// ExpectedSinkRate returns the steady-state sink input rate in ev/s at
+// the current source rate.
 func (e *Engine) ExpectedSinkRate() float64 {
-	rates := e.topo.InputRate(e.cfg.SourceRate)
+	return e.ExpectedSinkRateAt(e.SourceRate())
+}
+
+// ExpectedSinkRateAt returns the steady-state sink input rate at a given
+// per-source rate. Callers that also need the rate itself should read
+// SourceRate once and pass it here, so a concurrent SetSourceRate cannot
+// slip between the two reads.
+func (e *Engine) ExpectedSinkRateAt(rate float64) float64 {
+	rates := e.topo.InputRate(rate)
 	total := 0.0
 	for _, sink := range e.topo.Sinks() {
 		total += rates[sink.Name]
@@ -280,7 +292,40 @@ func (e *Engine) ExpectedSinkRate() float64 {
 // Fanout returns the number of source→sink event copies per payload
 // (e.g. 4 for Grid), used by duplicate accounting.
 func (e *Engine) Fanout() int {
-	return int(e.ExpectedSinkRate()/e.cfg.SourceRate + 0.5)
+	rate := e.SourceRate()
+	return int(e.ExpectedSinkRateAt(rate)/rate + 0.5)
+}
+
+// SourceRate returns the live per-source emission rate in ev/s. It starts
+// at Config.SourceRate and changes via SetSourceRate.
+func (e *Engine) SourceRate() float64 {
+	return math.Float64frombits(e.srcRate.Load())
+}
+
+// SetSourceRate changes the per-source emission rate while the dataflow
+// runs — the knob ramping workloads (and the autoscale experiments) turn.
+// Generators pick the new pace up on their next emission.
+func (e *Engine) SetSourceRate(r float64) {
+	if r <= 0 {
+		return
+	}
+	e.srcRate.Store(math.Float64bits(r))
+}
+
+// QueueDepths reports the current input queue depth of every live inner
+// executor — the backpressure signal consumed by autoscale policies.
+// Instances that are down (mid-respawn) are absent.
+func (e *Engine) QueueDepths() map[topology.Instance]int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[topology.Instance]int, len(e.executors))
+	for inst, ex := range e.executors {
+		if e.topo.Task(inst.Task).Role != topology.RoleInner {
+			continue
+		}
+		out[inst] = ex.QueueLen()
+	}
+	return out
 }
 
 // DroppedDeliveries reports events lost at delivery (down executors).

@@ -59,14 +59,15 @@ func (s *Source) start() {
 	go s.emitLoop()
 }
 
-// generate produces payloads at SourceRate into the backlog, pacing
-// against absolute deadlines so the long-run rate is exact even under a
-// heavily compressed clock.
+// generate produces payloads at the engine's live source rate into the
+// backlog, pacing against absolute deadlines so the long-run rate is
+// exact even under a heavily compressed clock. The rate is re-read every
+// iteration, so SetSourceRate ramps take effect within one emission.
 func (s *Source) generate() {
 	defer s.eng.wg.Done()
-	interval := time.Duration(float64(time.Second) / s.eng.cfg.SourceRate)
 	next := s.eng.clock.Now()
 	for {
+		interval := time.Duration(float64(time.Second) / s.eng.SourceRate())
 		next = next.Add(interval)
 		timex.SleepUntil(s.eng.clock, next)
 		s.mu.Lock()

@@ -32,6 +32,7 @@
 package repro
 
 import (
+	"repro/internal/autoscale"
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -238,3 +239,54 @@ var DefaultRunConfig = experiments.DefaultRunConfig
 
 // Table1 renders the deployment inventory of the paper's Table 1.
 var Table1 = experiments.Table1
+
+// --- autoscaling ------------------------------------------------------------
+
+// AutoscalePolicy recommends scale directions from live observations;
+// AutoscaleLoop is the closed monitor → plan → enact controller built on
+// the migration strategies. See internal/autoscale.
+type (
+	AutoscalePolicy   = autoscale.Policy
+	AutoscaleLoop     = autoscale.Loop
+	AutoscaleDecision = autoscale.Decision
+	AutoscaleSnapshot = autoscale.Snapshot
+	Fleet             = autoscale.Fleet
+	Hysteresis        = autoscale.Hysteresis
+	Enactor           = autoscale.Enactor
+	Allocator         = autoscale.Allocator
+	AutoscaleTarget   = autoscale.Target
+)
+
+// The three shipped policies: load vs. capacity, queue depth, and tail
+// latency against an SLO.
+type (
+	UtilizationBand   = autoscale.UtilizationBand
+	QueueBackpressure = autoscale.QueueBackpressure
+	LatencySLO        = autoscale.LatencySLO
+)
+
+// AutoscalePolicyByName resolves a shipped policy (with default tuning)
+// by name: util-band, queue, latency-slo.
+var AutoscalePolicyByName = autoscale.ByName
+
+// AllAutoscalePolicies returns the shipped policies with default tunings.
+var AllAutoscalePolicies = autoscale.All
+
+// DefaultAllocator consolidates onto D3 and spreads onto D1 (Table 1).
+var DefaultAllocator = autoscale.DefaultAllocator
+
+// ObserveAutoscale samples a running engine into a policy Snapshot.
+var ObserveAutoscale = autoscale.Observe
+
+// Autoscale experiment runners: one scenario cell, and the full policy ×
+// strategy comparison table.
+type (
+	AutoscaleScenario = experiments.AutoscaleScenario
+	AutoscaleResult   = experiments.AutoscaleResult
+)
+
+// RunAutoscaleScenario executes one autoscale cell end to end.
+var RunAutoscaleScenario = experiments.RunAutoscale
+
+// AutoscaleComparison renders the policy × strategy comparison table.
+var AutoscaleComparison = experiments.AutoscaleComparison
