@@ -15,6 +15,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflows"
 	"repro/internal/experiments"
+	"repro/internal/topology"
 )
 
 var (
@@ -30,16 +32,22 @@ var (
 	benchSuite *experiments.Suite
 )
 
+// benchScale resolves the paper-time compression benchmarks run at
+// (default 50x; override with REPRO_BENCH_SCALE).
+func benchScale() float64 {
+	scale := 0.02
+	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return scale
+}
+
 func suite() *experiments.Suite {
 	benchOnce.Do(func() {
-		scale := 0.02
-		if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
-			if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
-				scale = v
-			}
-		}
 		benchSuite = experiments.NewSuite(experiments.RunConfig{
-			TimeScale:    scale,
+			TimeScale:    benchScale(),
 			PreMigration: 60 * time.Second,
 			PostHorizon:  660 * time.Second,
 			Seed:         1,
@@ -207,6 +215,60 @@ func BenchmarkA3CheckpointFreshness(b *testing.B) {
 	s := suite()
 	printArtifact(b, "a3", s.A3CheckpointFreshness)
 	for i := 0; i < b.N; i++ {
+	}
+}
+
+// BenchmarkGridHighParallelism runs the Grid DAG at 4x the paper's
+// instance counts (84 inner instances, ~350 active delivery links) in
+// steady state and reports paper-time sink throughput plus the process
+// goroutine count. With the sharded delivery scheduler the goroutine
+// count is O(instances + shards); the previous per-link-goroutine fabric
+// held one goroutine per (sender, receiver) pair — quadratic in per-task
+// parallelism — which is what capped simulable topology sizes. Together
+// with BenchmarkFabricThroughput (internal/runtime) and
+// BenchmarkQueuePushPop (internal/queue) this seeds the perf trajectory.
+func BenchmarkGridHighParallelism(b *testing.B) {
+	const factor = 4
+	const horizon = 30 * time.Second // paper time per iteration
+	spec := GridScaled(factor)
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		clock := NewScaledClock(scale)
+		clus := NewCluster()
+		pinnedVM := clus.ProvisionPinned(D3, clock.Now())
+		inner := spec.Topology.Instances(topology.RoleInner)
+		clus.Provision(D2, (len(inner)+1)/2, clock.Now())
+		sched, err := (RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pinned := make(map[Instance]SlotRef)
+		slotIdx := 0
+		for _, inst := range spec.Topology.Instances(topology.RoleSource, topology.RoleSink) {
+			pinned[inst] = pinnedVM.Slots()[slotIdx]
+			slotIdx++
+		}
+		cfg := DefaultConfig(ModeCCR)
+		cfg.SourceRate = factor * 8
+		eng, err := NewEngine(Params{
+			Topology:        spec.Topology,
+			Factory:         CountFactory,
+			Clock:           clock,
+			Config:          cfg,
+			InnerSchedule:   sched,
+			Pinned:          pinned,
+			CoordinatorSlot: pinnedVM.Slots()[3],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Start()
+		clock.Sleep(horizon)
+		goroutines := goruntime.NumGoroutine()
+		arrivals := eng.Audit().SinkArrivals()
+		eng.Stop()
+		b.ReportMetric(float64(arrivals)/horizon.Seconds(), "sink-ev/s(paper)")
+		b.ReportMetric(float64(goroutines), "goroutines")
 	}
 }
 

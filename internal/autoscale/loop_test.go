@@ -55,6 +55,9 @@ func startDiamond(t *testing.T, scale float64, mode runtime.Mode) (*runtime.Engi
 // scale-out (2 x D3 -> 8 x D1) and, after the rate falls, a scale-in
 // back to 2 x D3 — with zero message loss across both live migrations.
 func TestLoopRampScaleOutThenIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two live migrations under 200x clock compression; wall-time sensitive (fails under -race slowdown)")
+	}
 	eng, clus, fleet := startDiamond(t, 0.005, runtime.ModeCCR)
 	clock := eng.Clock()
 

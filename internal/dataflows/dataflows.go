@@ -140,26 +140,41 @@ func Traffic() Spec {
 // prediction K and curtailment decision L; A4 also publishes raw
 // aggregates straight to the sink. End-to-end selectivity is 1:4 (32 ev/s
 // at the sink for 8 ev/s in). 15 tasks, 21 instances; VMs 11/6/21.
-func Grid() Spec {
-	b := topology.NewBuilder("grid")
+func Grid() Spec { return GridScaled(1) }
+
+// GridScaled is the Grid DAG with every task's parallelism multiplied by
+// k, sized for a source rate of k*BaseRate — the paper's sizing rule (one
+// instance per 8 ev/s of input) applied to a k-fold offered load. k=1 is
+// the paper's deployment; higher k (4–8) is the high-parallelism stress
+// scenario for the delivery fabric, where link count grows quadratically
+// while instance count grows linearly.
+func GridScaled(k int) Spec {
+	if k < 1 {
+		panic(fmt.Sprintf("dataflows: GridScaled factor %d < 1", k))
+	}
+	name := "grid"
+	if k > 1 {
+		name = fmt.Sprintf("grid-x%d", k)
+	}
+	b := topology.NewBuilder(name)
 	b.AddSource(SourceName, 1)
-	addChain(b, SourceName, []string{"A1", "A2", "A3", "A4"})
-	addChain(b, SourceName, []string{"B1", "B2", "B3", "B4"})
-	addChain(b, SourceName, []string{"C1", "C2", "C3"})
-	b.AddTask("J1", 2, true) // 16 ev/s
+	addChainPar(b, SourceName, []string{"A1", "A2", "A3", "A4"}, k)
+	addChainPar(b, SourceName, []string{"B1", "B2", "B3", "B4"}, k)
+	addChainPar(b, SourceName, []string{"C1", "C2", "C3"}, k)
+	b.AddTask("J1", 2*k, true) // 16k ev/s
 	b.Connect("A4", "J1", topology.Shuffle)
 	b.Connect("B4", "J1", topology.Shuffle)
-	b.AddTask("J2", 2, true) // 16 ev/s
+	b.AddTask("J2", 2*k, true) // 16k ev/s
 	b.Connect("J1", "J2", topology.Shuffle)
-	b.AddTask("K", 3, true) // 24 ev/s = J2(16) + C3(8)
+	b.AddTask("K", 3*k, true) // 24k ev/s = J2(16k) + C3(8k)
 	b.Connect("J2", "K", topology.Shuffle)
 	b.Connect("C3", "K", topology.Shuffle)
-	b.AddTask("L", 3, true) // 24 ev/s
+	b.AddTask("L", 3*k, true) // 24k ev/s
 	b.Connect("K", "L", topology.Shuffle)
 	b.AddSink(SinkName, 1)
 	b.Connect("L", SinkName, topology.Shuffle)
 	b.Connect("A4", SinkName, topology.Shuffle)
-	return makeSpec(b.MustBuild())
+	return makeSpecRate(b.MustBuild(), float64(k)*BaseRate)
 }
 
 // All returns the five benchmark DAGs in the paper's presentation order.
@@ -189,9 +204,15 @@ func ByName(name string) (Spec, error) {
 // addChain appends a linear chain of unit-parallelism stateful tasks fed
 // from the given upstream task.
 func addChain(b *topology.Builder, from string, names []string) {
+	addChainPar(b, from, names, 1)
+}
+
+// addChainPar appends a linear chain of stateful tasks with the given
+// parallelism fed from the given upstream task.
+func addChainPar(b *topology.Builder, from string, names []string, par int) {
 	prev := from
 	for _, n := range names {
-		b.AddTask(n, 1, true)
+		b.AddTask(n, par, true)
 		b.Connect(prev, n, topology.Shuffle)
 		prev = n
 	}
@@ -200,10 +221,14 @@ func addChain(b *topology.Builder, from string, names []string) {
 // makeSpec derives parallelism from cumulative input rates (one instance
 // per BaseRate of input, as the paper sizes tasks), then computes the
 // Table 1 deployment numbers.
-func makeSpec(t *topology.Topology) Spec {
+func makeSpec(t *topology.Topology) Spec { return makeSpecRate(t, BaseRate) }
+
+// makeSpecRate is makeSpec for a dataflow sized to the given per-source
+// input rate.
+func makeSpecRate(t *topology.Topology, rate float64) Spec {
 	// The builders above already set parallelism; verify it equals the
 	// rate-derived value to catch drift between structure and sizing.
-	rates := t.InputRate(BaseRate)
+	rates := t.InputRate(rate)
 	for _, task := range t.Inner() {
 		want := int(math.Ceil(rates[task.Name] / BaseRate))
 		if task.Parallelism != want {

@@ -13,6 +13,9 @@ import (
 // under the default ramp the utilization-band loop must spread during
 // the hot phase, consolidate off-peak, and lose nothing along the way.
 func TestRunAutoscaleDiamondCCR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two live migrations under 250x clock compression; wall-time sensitive (fails under -race slowdown)")
+	}
 	r, err := RunAutoscale(AutoscaleScenario{
 		Spec:      dataflows.Diamond(),
 		Strategy:  core.CCR{},
@@ -48,6 +51,9 @@ func TestRunAutoscaleDiamondCCR(t *testing.T) {
 // the backpressure policy reads queue depth, not the demand model, and
 // must reach the same end state reliably over DCR.
 func TestRunAutoscaleQueuePolicyDCR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two live migrations under 250x clock compression; wall-time sensitive (fails under -race slowdown)")
+	}
 	r, err := RunAutoscale(AutoscaleScenario{
 		Spec:      dataflows.Diamond(),
 		Strategy:  core.DCR{},

@@ -6,9 +6,10 @@
 // migration strategies lean on two extra operations that ordinary Go
 // channels cannot express:
 //
-//   - Snapshot/DrainRemaining: CCR captures the events still queued behind
-//     a broadcast PREPARE marker.
-//   - Len inspection for drain diagnostics and metrics.
+//   - CloseAndDrain: an executor kill must reject further pushes and
+//     capture the queued remainder in one atomic step, so no concurrent
+//     push can slip between the two and be lost uncounted.
+//   - Snapshot and Len inspection for drain diagnostics and metrics.
 package queue
 
 import (
@@ -17,14 +18,24 @@ import (
 	"repro/internal/tuple"
 )
 
-// Queue is an unbounded multi-producer single-consumer FIFO of events.
+// Queue is an unbounded multi-producer single-consumer FIFO of events,
+// backed by a growable ring buffer. The earlier slice-based implementation
+// (items = items[1:]) retained the whole backing array for the lifetime of
+// the queue — under sustained load the array only ever grows; the ring
+// reuses slots and shrinks again after bursts drain.
 // The zero value is not usable; construct with New.
 type Queue struct {
 	mu               sync.Mutex
 	nonEmptyOrClosed *sync.Cond
-	items            []*tuple.Event
+	buf              []*tuple.Event // ring storage; len(buf) is the capacity
+	head             int            // index of the oldest event
+	n                int            // number of queued events
 	closed           bool
 }
+
+// minCap is the smallest non-zero ring capacity; shrinking stops here so
+// steady trickles of events do not thrash allocations.
+const minCap = 16
 
 // New returns an empty open queue.
 func New() *Queue {
@@ -41,7 +52,11 @@ func (q *Queue) Push(e *tuple.Event) bool {
 	if q.closed {
 		return false
 	}
-	q.items = append(q.items, e)
+	if q.n == len(q.buf) {
+		q.resize(max(minCap, 2*len(q.buf)))
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
 	q.nonEmptyOrClosed.Signal()
 	return true
 }
@@ -51,36 +66,58 @@ func (q *Queue) Push(e *tuple.Event) bool {
 func (q *Queue) Pop() (e *tuple.Event, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.n == 0 && !q.closed {
 		q.nonEmptyOrClosed.Wait()
 	}
-	if len(q.items) == 0 {
-		return nil, false
-	}
-	e = q.items[0]
-	q.items[0] = nil // allow GC of the popped slot
-	q.items = q.items[1:]
-	return e, true
+	return q.popFront()
 }
 
 // TryPop removes and returns the head without blocking.
 func (q *Queue) TryPop() (e *tuple.Event, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	return q.popFront()
+}
+
+// popFront removes the head, shrinking the ring when a drained burst
+// leaves it mostly empty. Callers hold q.mu.
+func (q *Queue) popFront() (e *tuple.Event, ok bool) {
+	if q.n == 0 {
 		return nil, false
 	}
-	e = q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	e = q.buf[q.head]
+	q.buf[q.head] = nil // allow GC of the popped slot
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if len(q.buf) > minCap && q.n <= len(q.buf)/4 {
+		q.resize(len(q.buf) / 2)
+	}
 	return e, true
+}
+
+// resize moves the queued events into a fresh ring of the given capacity
+// (>= q.n). Callers hold q.mu.
+func (q *Queue) resize(capacity int) {
+	buf := make([]*tuple.Event, capacity)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // Len returns the number of queued events.
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.n
+}
+
+// Cap returns the current ring capacity (diagnostics and tests).
+func (q *Queue) Cap() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
 }
 
 // Closed reports whether Close has been called.
@@ -95,19 +132,38 @@ func (q *Queue) Closed() bool {
 func (q *Queue) Snapshot() []*tuple.Event {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]*tuple.Event, len(q.items))
-	copy(out, q.items)
-	return out
+	return q.drainLocked(false)
 }
 
-// DrainRemaining removes and returns all queued events in FIFO order.
-// Used by CCR to capture the events queued behind a PREPARE marker, and by
-// DSM's kill to count lost in-flight events.
-func (q *Queue) DrainRemaining() []*tuple.Event {
+// CloseAndDrain atomically closes the queue and removes all queued events,
+// returning them in FIFO order. Because both happen under one critical
+// section, every concurrent Push lands either before the drain (and is
+// returned here) or after the close (and is rejected, so the sender counts
+// the drop) — an event can never slip through uncounted. This is the kill
+// path of an executor.
+func (q *Queue) CloseAndDrain() []*tuple.Event {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := q.items
-	q.items = nil
+	if !q.closed {
+		q.closed = true
+		q.nonEmptyOrClosed.Broadcast()
+	}
+	return q.drainLocked(true)
+}
+
+// drainLocked copies the queued events out in FIFO order; when remove is
+// set it also empties the queue and releases the ring storage. Callers
+// hold q.mu.
+func (q *Queue) drainLocked(remove bool) []*tuple.Event {
+	out := make([]*tuple.Event, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	if remove {
+		q.buf = nil
+		q.head = 0
+		q.n = 0
+	}
 	return out
 }
 

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -130,30 +131,6 @@ func TestSnapshotDoesNotConsume(t *testing.T) {
 	}
 }
 
-func TestDrainRemaining(t *testing.T) {
-	q := New()
-	for i := 1; i <= 5; i++ {
-		q.Push(ev(tuple.ID(i)))
-	}
-	drained := q.DrainRemaining()
-	if len(drained) != 5 {
-		t.Fatalf("drained %d items, want 5", len(drained))
-	}
-	for i, e := range drained {
-		if e.ID != tuple.ID(i+1) {
-			t.Fatalf("drain out of order at %d: %d", i, e.ID)
-		}
-	}
-	if q.Len() != 0 {
-		t.Fatalf("queue not empty after drain: %d", q.Len())
-	}
-	// Queue remains usable after a drain.
-	q.Push(ev(9))
-	if e, ok := q.Pop(); !ok || e.ID != 9 {
-		t.Fatal("queue unusable after DrainRemaining")
-	}
-}
-
 func TestConcurrentProducersSingleConsumer(t *testing.T) {
 	q := New()
 	const producers = 8
@@ -193,6 +170,146 @@ func TestConcurrentProducersSingleConsumer(t *testing.T) {
 	}
 	if len(seen) != producers*perProducer {
 		t.Fatalf("consumed %d events, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	q := New()
+	// Interleave pushes and pops so head circles the ring repeatedly
+	// while the queue stays short enough not to grow.
+	next := tuple.ID(1)
+	want := tuple.ID(1)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(ev(next))
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			e, ok := q.TryPop()
+			if !ok || e.ID != want {
+				t.Fatalf("round %d: popped (%v, %v), want %d", round, e, ok, want)
+			}
+			want++
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after balanced rounds", q.Len())
+	}
+}
+
+func TestRingShrinksAfterBurst(t *testing.T) {
+	q := New()
+	const burst = 4096
+	for i := 1; i <= burst; i++ {
+		q.Push(ev(tuple.ID(i)))
+	}
+	grown := q.Cap()
+	if grown < burst {
+		t.Fatalf("Cap = %d after %d pushes", grown, burst)
+	}
+	for i := 1; i <= burst; i++ {
+		if _, ok := q.TryPop(); !ok {
+			t.Fatalf("TryPop failed at %d", i)
+		}
+	}
+	if c := q.Cap(); c >= grown {
+		t.Fatalf("Cap = %d after drain, want shrunk below %d", c, grown)
+	}
+}
+
+func TestCloseAndDrainReturnsRemainder(t *testing.T) {
+	q := New()
+	for i := 1; i <= 5; i++ {
+		q.Push(ev(tuple.ID(i)))
+	}
+	drained := q.CloseAndDrain()
+	if len(drained) != 5 {
+		t.Fatalf("drained %d, want 5", len(drained))
+	}
+	for i, e := range drained {
+		if e.ID != tuple.ID(i+1) {
+			t.Fatalf("drain out of order at %d: %d", i, e.ID)
+		}
+	}
+	if !q.Closed() {
+		t.Fatal("queue open after CloseAndDrain")
+	}
+	if q.Push(ev(9)) {
+		t.Fatal("Push accepted after CloseAndDrain")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned an event after CloseAndDrain emptied the queue")
+	}
+}
+
+// TestCloseAndDrainAccountsEveryPush is the regression test for the
+// kill-vs-deliver race: with close and drain in one critical section,
+// every concurrent Push is either captured by the drain or rejected —
+// never silently lost. Run under -race.
+func TestCloseAndDrainAccountsEveryPush(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		q := New()
+		const producers = 4
+		const perProducer = 50
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perProducer; i++ {
+					if q.Push(ev(tuple.ID(p*perProducer + i + 1))) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		drained := make(chan int, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			drained <- len(q.CloseAndDrain())
+		}()
+		close(start)
+		wg.Wait()
+		// Pushes that won the race before the close were drained; every
+		// later push was rejected. Nothing vanishes in between.
+		if got, want := int64(<-drained), accepted.Load(); got != want {
+			t.Fatalf("round %d: drained %d events, accepted %d", round, got, want)
+		}
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := New()
+	e := ev(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(e)
+		q.TryPop()
+	}
+}
+
+// BenchmarkQueueBurst measures a fill-then-drain cycle, the pattern the
+// old slice implementation handled worst (its backing array never shrank).
+func BenchmarkQueueBurst(b *testing.B) {
+	q := New()
+	e := ev(1)
+	const burst = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			q.Push(e)
+		}
+		for j := 0; j < burst; j++ {
+			q.TryPop()
+		}
 	}
 }
 

@@ -108,6 +108,11 @@ type Config struct {
 	// timeout, so recovery converges. Zero disables buffering entirely.
 	TransportBufferCap int
 
+	// FabricShards sets the delivery scheduler's shard (goroutine) count.
+	// Zero means GOMAXPROCS. Shards bound fabric concurrency regardless of
+	// topology size; links are hashed across them.
+	FabricShards int
+
 	// RebalanceCmdTime is the runtime of the rebalance command itself
 	// (kill, reassign, supervisor sync) — ~7 s in the paper, roughly
 	// constant across dataflows and cluster sizes.

@@ -65,7 +65,8 @@ type Engine struct {
 	pendingSpawn  map[topology.Instance]*spawnBuffer
 	sources       []*Source
 	innerSchedule *scheduler.Schedule
-	respawnTimers []timex.Timer
+	respawnTimers map[uint64]timex.Timer // pending only; fired timers remove themselves
+	respawnSeq    uint64
 	started       bool
 	stopped       bool
 
@@ -76,6 +77,7 @@ type Engine struct {
 	statefulInsts []topology.Instance
 
 	migration atomic.Bool
+	stopping  atomic.Bool   // Stop in progress: its kills are discard, not loss
 	lostKill  atomic.Int64  // data events dropped by executor kills
 	srcRate   atomic.Uint64 // live per-source rate (math.Float64bits)
 
@@ -105,13 +107,13 @@ func New(p Params) (*Engine, error) {
 		placement:     make(map[string]cluster.SlotRef),
 		executors:     make(map[topology.Instance]*Executor),
 		pendingSpawn:  make(map[topology.Instance]*spawnBuffer),
+		respawnTimers: make(map[uint64]timex.Timer),
 		innerSchedule: p.InnerSchedule,
 		shuffle:       make(map[edgeKey]*atomic.Uint64),
 		expectAlign:   make(map[string]int),
 	}
 	e.srcRate.Store(math.Float64bits(p.Config.SourceRate))
 	e.ack = acker.New(p.Clock, ackTimeoutFor(p.Config), p.Config.AckBuckets)
-	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.deliver)
 	e.coord = checkpoint.NewCoordinator(p.Clock, (*engineTransport)(e), e.idgen)
 
 	// Placement: pinned boundary tasks, the coordinator, then the inner
@@ -160,6 +162,9 @@ func New(p Params) (*Engine, error) {
 			return nil, fmt.Errorf("runtime: instance %s has no slot", inst)
 		}
 	}
+	// Last, after validation can no longer fail: the fabric spawns its
+	// shard goroutines eagerly, and an error return above would leak them.
+	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.deliver, p.Config.FabricShards)
 	return e, nil
 }
 
@@ -212,6 +217,7 @@ func (e *Engine) Start() {
 // Stop shuts the engine down: coordinator, sources, acker, executors,
 // then the delivery fabric. Safe to call once.
 func (e *Engine) Stop() {
+	e.stopping.Store(true)
 	e.coord.Close()
 	e.mu.Lock()
 	if e.stopped {
@@ -222,6 +228,7 @@ func (e *Engine) Stop() {
 	for _, t := range e.respawnTimers {
 		t.Stop()
 	}
+	e.respawnTimers = make(map[uint64]timex.Timer)
 	sources := e.sources
 	e.mu.Unlock()
 
@@ -444,12 +451,48 @@ func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 		inst := inst
 		// From this point the new assignment is known: the transport
 		// buffers data events for the starting worker (see spawnBuffer).
+		// An instance migrated again before its respawn fired may still
+		// have a pending buffer: retire it as dead and count its events —
+		// the reassignment drops the old transport queue, a loss like any
+		// other kill.
+		if old := e.pendingSpawn[inst]; old != nil {
+			old.mu.Lock()
+			old.flushed = true
+			for _, ev := range old.events {
+				if ev.IsData() {
+					e.lostKill.Add(1)
+				}
+			}
+			old.events = nil
+			old.mu.Unlock()
+		}
 		e.pendingSpawn[inst] = &spawnBuffer{}
 		delay := e.cfg.WorkerBaseDelay + time.Duration(i)*e.cfg.WorkerStagger + e.randJitter()
-		t := e.clock.AfterFunc(delay, func() { e.spawn(inst) })
-		e.respawnTimers = append(e.respawnTimers, t)
+		id := e.respawnSeq
+		e.respawnSeq++
+		e.respawnTimers[id] = e.clock.AfterFunc(delay, func() { e.respawnFired(id, inst) })
 	}
 	return migrating
+}
+
+// respawnFired retires a fired respawn timer and spawns its instance.
+// Removing the entry keeps respawnTimers holding pending timers only —
+// long-running autoscale loops rebalance hundreds of times, and an
+// append-only record would leak a timer per migrated instance per
+// rebalance.
+func (e *Engine) respawnFired(id uint64, inst topology.Instance) {
+	e.mu.Lock()
+	delete(e.respawnTimers, id)
+	e.mu.Unlock()
+	e.spawn(inst)
+}
+
+// PendingRespawns reports how many respawn timers have not fired yet
+// (diagnostics and leak tests).
+func (e *Engine) PendingRespawns() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.respawnTimers)
 }
 
 func (e *Engine) randJitter() time.Duration {
@@ -474,6 +517,14 @@ func (e *Engine) spawn(inst topology.Instance) {
 	buf := e.pendingSpawn[inst]
 	delete(e.pendingSpawn, inst)
 	if _, exists := e.executors[inst]; exists {
+		if buf != nil {
+			// Unregistered without a flush target: mark the buffer dead
+			// so a racing deliver fails over instead of appending into
+			// the void.
+			buf.mu.Lock()
+			buf.flushed = true
+			buf.mu.Unlock()
+		}
 		return
 	}
 	ex := newExecutor(e, inst, false)
@@ -483,6 +534,7 @@ func (e *Engine) spawn(inst topology.Instance) {
 			ex.in.Push(ev)
 		}
 		buf.events = nil
+		buf.flushed = true
 		buf.mu.Unlock()
 	}
 	e.executors[inst] = ex
@@ -552,29 +604,49 @@ func (e *Engine) slotOf(key string) cluster.SlotRef {
 type spawnBuffer struct {
 	mu     sync.Mutex
 	events []*tuple.Event
+	// flushed marks the buffer dead: spawn has already drained it into
+	// the executor's queue (or discarded it) and unregistered it. A
+	// deliver that raced past the registry check must not append here —
+	// nothing would ever read the event again.
+	flushed bool
 }
 
 // deliver pushes ev onto the destination executor's queue. Data events
 // addressed to a respawning instance are buffered until its worker
 // starts; everything else addressed to a down instance is lost (false).
 func (e *Engine) deliver(to topology.Instance, ev *tuple.Event) bool {
-	e.mu.RLock()
-	ex := e.executors[to]
-	buf := e.pendingSpawn[to]
-	e.mu.RUnlock()
-	if ex != nil && !ex.killed.Load() {
-		return ex.in.Push(ev)
-	}
-	if buf != nil && ev.IsData() {
-		buf.mu.Lock()
-		defer buf.mu.Unlock()
-		if cap := e.cfg.TransportBufferCap; cap > 0 && len(buf.events) >= cap {
-			return false // transport queue overflow: dropped like netty's max retries
+	for {
+		e.mu.RLock()
+		ex := e.executors[to]
+		buf := e.pendingSpawn[to]
+		e.mu.RUnlock()
+		if ex != nil && !ex.killed.Load() {
+			// A Kill racing with this push cannot lose the event uncounted:
+			// the kill closes and drains the queue in one atomic step, so the
+			// push either lands before the drain (counted by Kill) or is
+			// rejected here and counted by the fabric as dropped.
+			return ex.in.Push(ev)
 		}
-		buf.events = append(buf.events, ev)
-		return true
+		if buf != nil && ev.IsData() {
+			buf.mu.Lock()
+			if buf.flushed {
+				// spawn drained and unregistered this buffer between our
+				// registry snapshot and the append; retry against the now
+				// registered executor (spawn completes before the entry
+				// disappears, so the retry terminates).
+				buf.mu.Unlock()
+				continue
+			}
+			if cap := e.cfg.TransportBufferCap; cap > 0 && len(buf.events) >= cap {
+				buf.mu.Unlock()
+				return false // transport queue overflow: dropped like netty's max retries
+			}
+			buf.events = append(buf.events, ev)
+			buf.mu.Unlock()
+			return true
+		}
+		return false
 	}
-	return false
 }
 
 // routeData fans a processed event's output out along every outgoing

@@ -1,11 +1,16 @@
 package runtime
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/dataflows"
+	"repro/internal/scheduler"
 	"repro/internal/topology"
+	"repro/internal/tuple"
+	"repro/internal/workload"
 )
 
 func TestExpectAlignCounts(t *testing.T) {
@@ -142,6 +147,7 @@ func TestLostAtKillCountsQueuedData(t *testing.T) {
 
 func TestEngineRejectsUnplacedInstances(t *testing.T) {
 	h := newHarness(t, linear3(), ModeDCR)
+	before := goroutines()
 	// Build params with a missing pinned slot.
 	_, err := New(Params{
 		Topology:      h.eng.Topology(),
@@ -153,5 +159,183 @@ func TestEngineRejectsUnplacedInstances(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("New accepted params with unplaced source/sink")
+	}
+	// The error path must not leak fabric shard goroutines.
+	if after := goroutines(); after > before {
+		t.Fatalf("failed New leaked %d goroutines", after-before)
+	}
+}
+
+// TestRespawnTimersPruned asserts the respawn-timer registry holds
+// pending timers only: repeated rebalances (the autoscale loop does
+// hundreds) must not grow it monotonically.
+func TestRespawnTimersPruned(t *testing.T) {
+	h := newHarness(t, linear3(), ModeCCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 5
+	})
+	scheds := []func() *scheduler.Schedule{
+		func() *scheduler.Schedule { return h.newSchedule(t) },
+		func() *scheduler.Schedule { return h.oldSched },
+	}
+	for i := 0; i < 6; i++ {
+		h.eng.Rebalance(scheds[i%2]())
+		// All spawns fire; the registry must drain back to empty.
+		waitUntil(t, 10*time.Second, "respawn timers to fire", func() bool {
+			return h.eng.PendingRespawns() == 0
+		})
+		waitUntil(t, 10*time.Second, "executors respawned", func() bool {
+			return h.eng.RunningExecutors() == 4
+		})
+	}
+	if n := h.eng.PendingRespawns(); n != 0 {
+		t.Fatalf("respawn timer registry holds %d entries after all fired", n)
+	}
+}
+
+// TestAlignedMapEviction covers the wave-alignment leak: entries for
+// waves that never fully align (copies lost to a mid-wave kill,
+// superseded rounds) must be evicted once a newer wave completes.
+func TestAlignedMapEviction(t *testing.T) {
+	ex := &Executor{
+		aligned:     make(map[alignKey]int),
+		forwarded:   make(map[alignKey]bool),
+		expectAlign: 2,
+	}
+	// Waves 1..10 each receive only one of the two expected PREPARE
+	// copies (the second died with a killed upstream) and a stale INIT
+	// forwarding record.
+	for w := uint64(1); w <= 10; w++ {
+		if ex.arrived(&tuple.Event{Wave: w, Kind: tuple.Prepare}) {
+			t.Fatalf("wave %d aligned with one of two copies", w)
+		}
+		ex.forwarded[alignKey{wave: w, kind: tuple.Init}] = true
+	}
+	if len(ex.aligned) != 10 || len(ex.forwarded) != 10 {
+		t.Fatalf("precondition: aligned=%d forwarded=%d, want 10/10", len(ex.aligned), len(ex.forwarded))
+	}
+	// Wave 11 fully aligns: everything older is evicted.
+	if ex.arrived(&tuple.Event{Wave: 11, Kind: tuple.Prepare}) {
+		t.Fatal("wave 11 aligned with one of two copies")
+	}
+	if !ex.arrived(&tuple.Event{Wave: 11, Kind: tuple.Prepare}) {
+		t.Fatal("wave 11 did not align with both copies")
+	}
+	if len(ex.aligned) != 0 {
+		t.Fatalf("aligned holds %d stale entries after wave 11 completed", len(ex.aligned))
+	}
+	if len(ex.forwarded) != 0 {
+		t.Fatalf("forwarded holds %d stale entries after wave 11 completed", len(ex.forwarded))
+	}
+	// Current-wave entries survive: COMMIT of wave 12 is still aligning
+	// when PREPARE of wave 12 completes.
+	ex.arrived(&tuple.Event{Wave: 12, Kind: tuple.Commit})
+	ex.arrived(&tuple.Event{Wave: 12, Kind: tuple.Prepare})
+	ex.arrived(&tuple.Event{Wave: 12, Kind: tuple.Prepare})
+	if len(ex.aligned) != 1 {
+		t.Fatalf("aligned = %d entries, want the in-flight wave-12 COMMIT kept", len(ex.aligned))
+	}
+}
+
+// TestKillDeliverRaceAccountsEveryEvent is the regression test for the
+// uncounted-loss race: a delivery landing between the killed check and
+// the queue push must be counted (drained by the atomic kill, rejected
+// by the closed queue, or tallied as a straggler by the run loop) —
+// never silently skipped. Run under -race.
+func TestKillDeliverRaceAccountsEveryEvent(t *testing.T) {
+	h := newHarness(t, linear3(), ModeDCR)
+	inst := topology.Instance{Task: "T2", Index: 0}
+	const rounds = 50
+	const pushes = 20
+	for round := 0; round < rounds; round++ {
+		ex := newExecutor(h.eng, inst, true)
+		h.eng.mu.Lock()
+		h.eng.executors[inst] = ex
+		h.eng.mu.Unlock()
+		h.eng.wg.Add(1)
+		go ex.run()
+
+		lost0 := h.eng.LostAtKill()
+		drops0 := h.eng.DroppedDeliveries()
+		processed0 := ex.Logic().(*workload.CountLogic).Processed()
+
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < pushes; i++ {
+				ev := &tuple.Event{ID: h.eng.idgen.Next(), Kind: tuple.Data, SrcTask: "T1"}
+				if h.eng.deliver(inst, ev) {
+					accepted.Add(1)
+				}
+			}
+		}()
+		wg.Add(1)
+		var killDropped int64
+		go func() {
+			defer wg.Done()
+			<-start
+			h.eng.mu.Lock()
+			delete(h.eng.executors, inst)
+			h.eng.mu.Unlock()
+			killDropped = int64(ex.Kill())
+		}()
+		close(start)
+		wg.Wait()
+		h.eng.wg.Wait() // executor loop exits once the queue closes
+
+		processed := int64(ex.Logic().(*workload.CountLogic).Processed() - processed0)
+		stragglers := h.eng.LostAtKill() - lost0
+		if got := processed + killDropped + stragglers; got != accepted.Load() {
+			t.Fatalf("round %d: processed %d + killDropped %d + stragglers %d = %d, want accepted %d (fabric drops delta %d)",
+				round, processed, killDropped, stragglers, got, accepted.Load(),
+				h.eng.DroppedDeliveries()-drops0)
+		}
+	}
+	h.eng.fab.Close()
+}
+
+// TestRebalanceRetiresStaleSpawnBuffer covers the double-migration
+// accounting hole: events buffered for a respawning instance must be
+// counted as kill losses when a second rebalance reassigns the instance
+// before its worker started (the old transport queue is dropped), and a
+// racing deliver must not append to the retired buffer.
+func TestRebalanceRetiresStaleSpawnBuffer(t *testing.T) {
+	h := newHarness(t, linear3(), ModeCCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+	h.eng.PauseSources()
+	time.Sleep(100 * time.Millisecond) // in-flight drains
+
+	// Kill T2 and register it as respawning, as a rebalance would.
+	inst := topology.Instance{Task: "T2", Index: 0}
+	h.eng.mu.Lock()
+	ex := h.eng.executors[inst]
+	delete(h.eng.executors, inst)
+	h.eng.pendingSpawn[inst] = &spawnBuffer{}
+	h.eng.mu.Unlock()
+	ex.Kill()
+
+	// Buffer three data events for the starting worker.
+	for i := 0; i < 3; i++ {
+		if !h.eng.deliver(inst, &tuple.Event{ID: h.eng.idgen.Next(), Kind: tuple.Data, SrcTask: "T1"}) {
+			t.Fatal("deliver rejected a bufferable event")
+		}
+	}
+	lost0 := h.eng.LostAtKill()
+
+	// A second rebalance reassigns T2 before its respawn fired: the old
+	// transport buffer is dropped and its events counted.
+	h.eng.Rebalance(h.newSchedule(t))
+	if got := h.eng.LostAtKill() - lost0; got < 3 {
+		t.Fatalf("LostAtKill grew by %d, want >= 3 buffered events counted", got)
 	}
 }

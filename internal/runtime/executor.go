@@ -56,9 +56,15 @@ type Executor struct {
 
 	// aligned counts sequential checkpoint events received per wave/kind;
 	// the executor acts once the count reaches expectAlign (rearguard
-	// alignment over every input edge).
+	// alignment over every input edge). Entries older than the last
+	// completed wave are evicted (see noteWaveDone) — waves that never
+	// fully align must not leak.
 	aligned     map[alignKey]int
 	expectAlign int
+
+	// lastDoneWave is the newest wave this executor completed an action
+	// for; it drives eviction of stale aligned/forwarded entries.
+	lastDoneWave uint64
 
 	// forwarded dedups INIT forwarding per wave round, so resent waves
 	// sweep through already-initialized tasks without multiplying.
@@ -66,9 +72,6 @@ type Executor struct {
 
 	// lastPrepared dedups broadcast PREPAREs per wave.
 	lastActedPrepare uint64
-
-	// droppedAtKill counts queued data events discarded by Kill.
-	droppedAtKill int
 
 	// busyUntil is the absolute paper-time instant the executor's core is
 	// free: service time is charged as a deadline so the effective
@@ -152,7 +155,15 @@ func (ex *Executor) run() {
 		}
 		ex.waitWhilePaused()
 		if ex.killed.Load() {
-			continue // drain what Kill left behind without processing
+			// Kill closed and drained the queue in one atomic step, but
+			// this event was already popped when the kill landed; count
+			// the straggler so reliability accounting sees every loss.
+			// Stop-time kills are exempt: Stop discards queue contents
+			// uncounted, and the straggler is the same discard.
+			if ev.IsData() && !ex.eng.stopping.Load() {
+				ex.eng.lostKill.Add(1)
+			}
+			continue
 		}
 		if ev.Kind.IsCheckpoint() {
 			ex.handleCheckpoint(ev)
@@ -290,7 +301,31 @@ func (ex *Executor) arrived(ev *tuple.Event) bool {
 		return false
 	}
 	delete(ex.aligned, k)
+	ex.noteWaveDone(ev.Wave)
 	return true
+}
+
+// noteWaveDone records completion of a wave action and evicts alignment
+// and forwarding entries of older waves. Waves are issued in increasing
+// order, so an entry from an earlier wave that never reached full
+// alignment (superseded rounds, copies lost to a mid-wave kill) can only
+// leak; the current wave's entries are kept because its other kinds and
+// rounds are still in flight.
+func (ex *Executor) noteWaveDone(wave uint64) {
+	if wave <= ex.lastDoneWave {
+		return
+	}
+	ex.lastDoneWave = wave
+	for k := range ex.aligned {
+		if k.wave < wave {
+			delete(ex.aligned, k)
+		}
+	}
+	for k := range ex.forwarded {
+		if k.wave < wave {
+			delete(ex.forwarded, k)
+		}
+	}
 }
 
 // snapshot takes the user-state snapshot (the PREPARE action).
@@ -340,6 +375,7 @@ func (ex *Executor) handleInit(ev *tuple.Event) {
 			ex.forwardOnce(ev)
 		}
 		ex.ackWave(ev)
+		ex.noteWaveDone(ev.Wave)
 		return
 	}
 	// Restore the last committed snapshot.
@@ -365,6 +401,7 @@ func (ex *Executor) handleInit(ev *tuple.Event) {
 		ex.forwardOnce(ev)
 	}
 	ex.ackWave(ev)
+	ex.noteWaveDone(ev.Wave)
 
 	// CCR: resume the captured in-flight events (ack first, then replay,
 	// per §3.2), then drain anything buffered while uninitialized.
@@ -406,19 +443,20 @@ func (ex *Executor) ackWave(ev *tuple.Event) {
 // Kill stops the executor immediately, discarding its queue. Queued data
 // events are lost exactly as when Storm kills a worker: with acking on,
 // their causal trees later time out and the source replays them.
+// Closing and draining happen in one atomic step, so a delivery racing
+// with the kill is either captured here (and counted) or rejected by the
+// closed queue (and counted as a fabric drop) — never silently lost.
 func (ex *Executor) Kill() (droppedData int) {
 	ex.killed.Store(true)
 	ex.pauseMu.Lock()
 	ex.pauseWake.Broadcast() // release a paused loop so it can exit
 	ex.pauseMu.Unlock()
-	dropped := ex.in.DrainRemaining()
-	ex.in.Close()
+	dropped := ex.in.CloseAndDrain()
 	for _, ev := range dropped {
 		if ev.IsData() {
 			droppedData++
 		}
 	}
-	ex.droppedAtKill = droppedData
 	return droppedData
 }
 

@@ -1,6 +1,9 @@
 package runtime
 
 import (
+	"container/heap"
+	"hash/maphash"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,20 +23,32 @@ type deliverFn func(to topology.Instance, ev *tuple.Event) bool
 // during rebalance).
 type slotFn func(instanceKey string) cluster.SlotRef
 
-// fabric moves events between instances over per-(sender,receiver) FIFO
-// links. Each link is a goroutine that delays deliveries by the network
-// latency of the endpoints' current placement while preserving order —
-// the property the sequential checkpoint waves (rearguard PREPARE, swept
-// COMMIT) rely on.
+// fabric moves events between instances, delaying each delivery by the
+// network latency of the endpoints' current placement while preserving
+// per-(sender,receiver) FIFO order — the property the sequential
+// checkpoint waves (rearguard PREPARE, swept COMMIT) rely on.
+//
+// It is a sharded delivery scheduler: a fixed pool of shard goroutines
+// (default GOMAXPROCS), each owning a min-heap of pending deliveries
+// keyed by (deliverAt, enqueue seq). Links hash to shards, so the
+// goroutine count is O(shards) regardless of topology size; the previous
+// design ran one goroutine per (sender, receiver) pair — O(instances²)
+// parked goroutines that capped the simulable topology sizes.
+//
+// The FIFO guarantee holds because (a) all deliveries of a link land on
+// one shard, (b) a link's deliverAt is clamped monotone non-decreasing
+// (a rebalance can shorten the latency of a later send; the clamp models
+// the earlier event still occupying the wire, exactly like the old
+// per-link goroutine sleeping out its deadline first), and (c) equal
+// deadlines pop in enqueue-seq order.
 type fabric struct {
 	clock   timex.Clock
 	net     cluster.NetworkModel
 	slotOf  slotFn
 	deliver deliverFn
 
-	mu     sync.Mutex
-	links  map[linkKey]*link
-	closed bool
+	shards []*fabShard
+	seed   maphash.Seed
 	wg     sync.WaitGroup
 
 	// dropped counts events lost at delivery (down executor or closed
@@ -47,64 +62,144 @@ type linkKey struct {
 	to   topology.Instance
 }
 
+// delivery is one scheduled hand-off, ordered by (deliverAt, seq).
 type delivery struct {
 	ev        *tuple.Event
+	to        topology.Instance
 	deliverAt time.Time
+	seq       uint64
 }
 
-// linkBuffer is the per-link in-flight capacity; senders block when a
-// link is saturated (network backpressure).
-const linkBuffer = 4096
+// shardBuffer is the per-shard in-flight capacity; senders block when a
+// shard is saturated (network backpressure, previously per-link).
+const shardBuffer = 1 << 16
 
-type link struct {
-	ch chan delivery
+// fabShard is one scheduler shard: a single goroutine draining a min-heap
+// of pending deliveries in deadline order.
+type fabShard struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond // consumer waits for work
+	notFull  *sync.Cond // senders wait out backpressure
+	h        deliveryHeap
+	seq      uint64                // monotone enqueue counter (tie-break)
+	lastAt   map[linkKey]time.Time // per-link FIFO clamp
+	sleepTo  time.Time             // deadline the consumer sleeps toward (zero: not sleeping)
+	wake     chan struct{}         // interrupts the consumer's sleep
+	closed   bool
 }
 
-func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, deliver deliverFn) *fabric {
-	return &fabric{
+// newFabric builds a fabric with the given shard count (0 means
+// GOMAXPROCS) and starts the shard goroutines; Close joins them.
+func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, deliver deliverFn, shards int) *fabric {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	f := &fabric{
 		clock:   clock,
 		net:     net,
 		slotOf:  slotOf,
 		deliver: deliver,
-		links:   make(map[linkKey]*link),
+		shards:  make([]*fabShard, shards),
+		seed:    maphash.MakeSeed(),
 	}
+	for i := range f.shards {
+		sh := &fabShard{
+			lastAt: make(map[linkKey]time.Time),
+			wake:   make(chan struct{}, 1),
+		}
+		sh.notEmpty = sync.NewCond(&sh.mu)
+		sh.notFull = sync.NewCond(&sh.mu)
+		f.shards[i] = sh
+		f.wg.Add(1)
+		go f.runShard(sh)
+	}
+	return f
+}
+
+// shardOf hashes a link to its owning shard. All deliveries of one link
+// go through one shard; that plus the monotone deadline clamp is what
+// makes per-link FIFO hold.
+func (f *fabric) shardOf(key linkKey) *fabShard {
+	var h maphash.Hash
+	h.SetSeed(f.seed)
+	h.WriteString(key.from)
+	h.WriteString(key.to.Task)
+	h.WriteByte(byte(key.to.Index))
+	h.WriteByte(byte(key.to.Index >> 8))
+	return f.shards[h.Sum64()%uint64(len(f.shards))]
 }
 
 // Send schedules ev for delivery from the sender (an instance key; the
 // coordinator and sources send too) to the destination instance, after
-// the one-way latency between their current slots.
+// the one-way latency between their current slots. Sending concurrently
+// with Close is safe: the event is dropped and counted.
 func (f *fabric) Send(fromKey string, to topology.Instance, ev *tuple.Event) {
 	lat := f.net.Latency(f.slotOf(fromKey), f.slotOf(to.String()))
 	deliverAt := f.clock.Now().Add(lat)
+	key := linkKey{from: fromKey, to: to}
+	sh := f.shardOf(key)
 
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
+	sh.mu.Lock()
+	for len(sh.h) >= shardBuffer && !sh.closed {
+		sh.notFull.Wait()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
 		f.dropped.Add(1)
 		return
 	}
-	key := linkKey{from: fromKey, to: to}
-	l, ok := f.links[key]
-	if !ok {
-		l = &link{ch: make(chan delivery, linkBuffer)}
-		f.links[key] = l
-		f.wg.Add(1)
-		go f.run(l, to)
+	// FIFO clamp: never schedule behind an earlier send on the same link.
+	if last := sh.lastAt[key]; deliverAt.Before(last) {
+		deliverAt = last
 	}
-	f.mu.Unlock()
-
-	l.ch <- delivery{ev: ev, deliverAt: deliverAt}
+	sh.lastAt[key] = deliverAt
+	sh.seq++
+	heap.Push(&sh.h, &delivery{ev: ev, to: to, deliverAt: deliverAt, seq: sh.seq})
+	// Wake the consumer: it is either waiting for work or sleeping toward
+	// a deadline this delivery may now precede.
+	sh.notEmpty.Signal()
+	if !sh.sleepTo.IsZero() && deliverAt.Before(sh.sleepTo) {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+	sh.mu.Unlock()
 }
 
-// run drains one link in FIFO order, delaying each delivery to its
-// deadline. SleepUntil gives sub-oversleep precision: per-hop network
-// latencies are a millisecond of paper time, far below the OS timer's
-// oversleep under a compressed clock.
-func (f *fabric) run(l *link, to topology.Instance) {
+// runShard drains one shard in deadline order, delaying each delivery to
+// its deadline with sub-oversleep precision (per-hop latencies are a
+// millisecond of paper time, far below the OS timer's oversleep under a
+// compressed clock). After Close it keeps draining until the heap is
+// empty, so queued deliveries still arrive — the old per-link drain
+// semantics.
+func (f *fabric) runShard(sh *fabShard) {
 	defer f.wg.Done()
-	for d := range l.ch {
-		timex.SleepUntil(f.clock, d.deliverAt)
-		if !f.deliver(to, d.ev) {
+	for {
+		sh.mu.Lock()
+		for len(sh.h) == 0 && !sh.closed {
+			sh.notEmpty.Wait()
+		}
+		if len(sh.h) == 0 {
+			sh.mu.Unlock()
+			return // closed and drained
+		}
+		d := sh.h[0]
+		if d.deliverAt.After(f.clock.Now()) {
+			// Sleep toward the earliest deadline, interruptible by a
+			// newly enqueued earlier one.
+			sh.sleepTo = d.deliverAt
+			sh.mu.Unlock()
+			timex.WaitUntil(f.clock, d.deliverAt, sh.wake)
+			sh.mu.Lock()
+			sh.sleepTo = time.Time{}
+			sh.mu.Unlock()
+			continue // re-evaluate the heap minimum
+		}
+		heap.Pop(&sh.h)
+		sh.notFull.Signal()
+		sh.mu.Unlock()
+		if !f.deliver(d.to, d.ev) {
 			f.dropped.Add(1)
 		}
 	}
@@ -113,22 +208,41 @@ func (f *fabric) run(l *link, to topology.Instance) {
 // Dropped reports events lost at delivery so far.
 func (f *fabric) Dropped() uint64 { return f.dropped.Load() }
 
-// Close stops all links after their queued deliveries drain. Callers must
-// guarantee no concurrent Send (the engine stops producers first).
+// ShardCount reports the number of scheduler shards (and goroutines).
+func (f *fabric) ShardCount() int { return len(f.shards) }
+
+// Close stops the fabric after all queued deliveries drain. Concurrent
+// Sends are safe: once a shard is marked closed, its senders drop (and
+// count) instead of enqueueing — there is no channel to race against.
 func (f *fabric) Close() {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return
-	}
-	f.closed = true
-	links := make([]*link, 0, len(f.links))
-	for _, l := range f.links {
-		links = append(links, l)
-	}
-	f.mu.Unlock()
-	for _, l := range links {
-		close(l.ch)
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.notEmpty.Broadcast()
+		sh.notFull.Broadcast()
+		sh.mu.Unlock()
 	}
 	f.wg.Wait()
+}
+
+// deliveryHeap is a min-heap of pending deliveries ordered by
+// (deliverAt, seq); the seq tie-break keeps equal deadlines FIFO.
+type deliveryHeap []*delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].deliverAt.Equal(h[j].deliverAt) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deliverAt.Before(h[j].deliverAt)
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(*delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return d
 }

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -59,7 +61,7 @@ func testFabric(col *collectingDeliver) (*fabric, *timex.ScaledClock) {
 		IntraVM:  time.Millisecond,
 		InterVM:  5 * time.Millisecond,
 	}
-	return newFabric(clock, net, slots, col.deliver), clock
+	return newFabric(clock, net, slots, col.deliver, 0), clock
 }
 
 func TestFabricDeliversInFIFOOrder(t *testing.T) {
@@ -163,4 +165,195 @@ func TestFabricConcurrentSenders(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// TestFabricFIFOStress is the dedicated per-link FIFO stress test for the
+// sharded scheduler: many senders fan into many destinations while the
+// placement (and hence latency) of the endpoints flips mid-stream, so
+// later sends on a link can compute a *shorter* latency than earlier ones.
+// The monotone deadline clamp must still deliver every link in send order
+// — the ordering contract the sequential checkpoint waves rely on.
+func TestFabricFIFOStress(t *testing.T) {
+	col := newCollectingDeliver()
+	clock := timex.NewScaled(1)
+	// Placement flips between a far VM (5ms) and the local VM (1ms) on
+	// every lookup, exercising out-of-order deliverAt computations.
+	var flip atomic.Uint64
+	slots := func(key string) cluster.SlotRef {
+		if flip.Add(1)%2 == 0 {
+			return cluster.SlotRef{VM: "vm-9", Slot: 0}
+		}
+		return cluster.SlotRef{VM: "vm-0", Slot: 0}
+	}
+	net := cluster.NetworkModel{SameSlot: 0, IntraVM: time.Millisecond, InterVM: 5 * time.Millisecond}
+	f := newFabric(clock, net, slots, col.deliver, 4)
+	defer f.Close()
+
+	const senders = 8
+	const dests = 8
+	const each = 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			from := string(rune('a'+s)) + "[0]"
+			for i := 1; i <= each; i++ {
+				for d := 0; d < dests; d++ {
+					to := topology.Instance{Task: "T", Index: d}
+					// Encode (sender, sequence) in the ID to check per-link order.
+					f.Send(from, to, &tuple.Event{ID: tuple.ID(s*1_000_000 + i), Kind: tuple.Data})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for d := 0; d < dests; d++ {
+		to := topology.Instance{Task: "T", Index: d}
+		for len(col.events(to)) < senders*each {
+			if time.Now().After(deadline) {
+				t.Fatalf("dest %d: delivered %d of %d", d, len(col.events(to)), senders*each)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Per-link FIFO: for each sender, IDs must arrive in ascending order.
+		last := make(map[int]tuple.ID)
+		for _, ev := range col.events(to) {
+			s := int(ev.ID) / 1_000_000
+			if prev, ok := last[s]; ok && ev.ID <= prev {
+				t.Fatalf("dest %d: link from sender %d reordered: %d after %d", d, s, ev.ID, prev)
+			}
+			last[s] = ev.ID
+		}
+	}
+}
+
+// TestFabricSendCloseRace is the regression test for the old
+// send-on-closed-channel panic: Send hammered concurrently with Close
+// must neither panic nor lose accounting — after everything settles,
+// every sent event was either delivered or counted as dropped.
+func TestFabricSendCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		col := newCollectingDeliver()
+		f, _ := testFabric(col)
+		const senders = 8
+		const each = 50
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for s := 0; s < senders; s++ {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				from := string(rune('a'+s)) + "[0]"
+				to := topology.Instance{Task: "T", Index: s % 4}
+				for i := 0; i < each; i++ {
+					f.Send(from, to, &tuple.Event{ID: tuple.ID(s*each + i + 1), Kind: tuple.Data})
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			f.Close()
+		}()
+		close(start)
+		wg.Wait()
+		f.Close() // idempotent; all shards drained after this
+		delivered := 0
+		col.mu.Lock()
+		for _, evs := range col.got {
+			delivered += len(evs)
+		}
+		col.mu.Unlock()
+		if got, want := delivered+int(f.Dropped()), senders*each; got != want {
+			t.Fatalf("round %d: delivered %d + dropped %d != sent %d",
+				round, delivered, f.Dropped(), want)
+		}
+	}
+}
+
+// TestFabricGoroutineCountIsOShards proves the tentpole property: the
+// fabric's goroutine count is the shard count, independent of how many
+// (sender, receiver) links exist. The old per-link design would spawn
+// 4096 goroutines here.
+func TestFabricGoroutineCountIsOShards(t *testing.T) {
+	col := newCollectingDeliver()
+	clock := timex.NewScaled(1)
+	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
+	net := cluster.NetworkModel{SameSlot: 0, IntraVM: 0, InterVM: 0}
+	before := runtime.NumGoroutine()
+	const shards = 8
+	f := newFabric(clock, net, slots, col.deliver, shards)
+	const links = 4096 // 64 senders x 64 destinations
+	for s := 0; s < 64; s++ {
+		from := fmt.Sprintf("s%d[0]", s)
+		for d := 0; d < 64; d++ {
+			f.Send(from, topology.Instance{Task: "T", Index: d}, &tuple.Event{ID: 1, Kind: tuple.Data})
+		}
+	}
+	after := runtime.NumGoroutine()
+	if growth := after - before; growth > shards+4 {
+		t.Fatalf("goroutine growth %d for %d links, want <= shards (%d) + slack", growth, links, shards)
+	}
+	if f.ShardCount() != shards {
+		t.Fatalf("ShardCount = %d, want %d", f.ShardCount(), shards)
+	}
+	f.Close()
+}
+
+// BenchmarkFabricThroughput measures delivery throughput across many
+// concurrent links with zero modeled latency (pure scheduler overhead).
+func BenchmarkFabricThroughput(b *testing.B) {
+	var delivered atomic.Uint64
+	clock := timex.NewScaled(1)
+	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
+	net := cluster.NetworkModel{}
+	f := newFabric(clock, net, slots, func(to topology.Instance, ev *tuple.Event) bool {
+		delivered.Add(1)
+		return true
+	}, 0)
+	defer f.Close()
+	ev := &tuple.Event{ID: 1, Kind: tuple.Data}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			from := fmt.Sprintf("s%d[0]", i%16)
+			f.Send(from, topology.Instance{Task: "T", Index: i % 64}, ev)
+			i++
+		}
+	})
+	b.StopTimer()
+}
+
+// BenchmarkFabricThroughputLatency measures throughput with the realistic
+// latency model, where deliveries must be scheduled, not just forwarded.
+func BenchmarkFabricThroughputLatency(b *testing.B) {
+	var delivered atomic.Uint64
+	clock := timex.NewScaled(1)
+	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
+	net := cluster.NetworkModel{SameSlot: 0, IntraVM: 100 * time.Microsecond, InterVM: 300 * time.Microsecond}
+	f := newFabric(clock, net, slots, func(to topology.Instance, ev *tuple.Event) bool {
+		delivered.Add(1)
+		return true
+	}, 0)
+	defer f.Close()
+	ev := &tuple.Event{ID: 1, Kind: tuple.Data}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			from := fmt.Sprintf("s%d[0]", i%16)
+			f.Send(from, topology.Instance{Task: "T", Index: i % 64}, ev)
+			i++
+		}
+	})
+	b.StopTimer()
 }

@@ -1,0 +1,48 @@
+package runtime
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dataflows"
+)
+
+// goroutines reports the live goroutine count (leak assertions).
+func goroutines() int { return runtime.NumGoroutine() }
+
+// TestGridHighParallelismGoroutines runs the Grid DAG at 4x the paper's
+// instance counts (84 inner instances) and asserts the process goroutine
+// count stays O(instances + shards). Under the old per-link-goroutine
+// fabric the steady state held one goroutine per active (sender,
+// receiver) pair — several hundred for this topology (quadratic in
+// per-task parallelism) — which this bound excludes.
+func TestGridHighParallelismGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-parallelism DAG run")
+	}
+	spec := dataflows.GridScaled(4)
+	baseline := runtime.NumGoroutine()
+
+	h := newHarness(t, spec.Topology, ModeCCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+
+	// Let the dataflow reach steady state so every link a per-link design
+	// would materialize has carried traffic.
+	waitUntil(t, 30*time.Second, "steady flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 200
+	})
+
+	got := runtime.NumGoroutine() - baseline
+	// Executors (one per instance), sources, acker, coordinator and the
+	// fabric shards account for roughly instances + shards + a small
+	// constant; give slack well below the link count (~350 links here).
+	bound := spec.Instances + h.eng.fab.ShardCount() + 60
+	if got > bound {
+		t.Fatalf("goroutine growth %d exceeds O(instances+shards) bound %d "+
+			"(instances=%d shards=%d)", got, bound, spec.Instances, h.eng.fab.ShardCount())
+	}
+	t.Logf("grid-x4: %d instances, %d fabric shards, %d goroutines above baseline",
+		spec.Instances, h.eng.fab.ShardCount(), got)
+}

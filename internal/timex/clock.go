@@ -67,3 +67,28 @@ func SleepUntil(c Clock, t time.Time) {
 		c.Sleep(d)
 	}
 }
+
+// WaitUntil blocks until the clock reaches t or a value arrives on wake,
+// reporting true when woken early. It keeps SleepUntil's sub-oversleep
+// precision on a ScaledClock while staying interruptible — the wait a
+// delivery-scheduler shard performs on its earliest deadline, which a
+// newly enqueued earlier deadline must be able to cut short.
+func WaitUntil(c Clock, t time.Time, wake <-chan struct{}) bool {
+	if sc, ok := c.(*ScaledClock); ok {
+		return sc.waitUntil(t, wake)
+	}
+	for {
+		remaining := t.Sub(c.Now())
+		if remaining <= 0 {
+			return false
+		}
+		fired := make(chan struct{})
+		tm := c.AfterFunc(remaining, func() { close(fired) })
+		select {
+		case <-fired:
+		case <-wake:
+			tm.Stop() // don't leave a timer running per early wake
+			return true
+		}
+	}
+}

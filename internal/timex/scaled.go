@@ -71,20 +71,39 @@ const spinWindow = 1800 * time.Microsecond
 // bulk of the wait uses the OS timer, the final spinWindow is spun (with
 // scheduler yields), so rate-controlled loops see exact deadlines.
 func (c *ScaledClock) SleepUntil(t time.Time) {
+	c.waitUntil(t, nil)
+}
+
+// waitUntil is the precision sleep behind both SleepUntil (nil wake) and
+// timex.WaitUntil: the bulk of the wait is a timer select (cancellable by
+// wake), the final spinWindow polls wake between scheduler yields so
+// precision is preserved without giving up interruptibility.
+func (c *ScaledClock) waitUntil(t time.Time, wake <-chan struct{}) bool {
 	for {
 		remaining := t.Sub(c.Now())
 		if remaining <= 0 {
-			return
+			return false
 		}
 		wall := c.toWall(remaining)
 		if wall > spinWindow {
-			time.Sleep(wall - spinWindow)
+			tm := time.NewTimer(wall - spinWindow)
+			select {
+			case <-tm.C:
+			case <-wake:
+				tm.Stop()
+				return true
+			}
 			continue
 		}
 		for t.Sub(c.Now()) > 0 {
+			select {
+			case <-wake:
+				return true
+			default:
+			}
 			runtime.Gosched()
 		}
-		return
+		return false
 	}
 }
 

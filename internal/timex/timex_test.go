@@ -196,3 +196,60 @@ func TestRealClockBasics(t *testing.T) {
 		t.Fatal("After channel never fired")
 	}
 }
+
+func TestWaitUntilReachesDeadline(t *testing.T) {
+	c := NewScaled(1)
+	wake := make(chan struct{}, 1)
+	target := c.Now().Add(20 * time.Millisecond)
+	if woken := WaitUntil(c, target, wake); woken {
+		t.Fatal("WaitUntil reported woken without a wake")
+	}
+	if c.Now().Before(target) {
+		t.Fatal("WaitUntil returned before the deadline")
+	}
+}
+
+func TestWaitUntilInterruptedByWake(t *testing.T) {
+	c := NewScaled(1)
+	wake := make(chan struct{}, 1)
+	start := c.Now()
+	done := make(chan bool, 1)
+	go func() { done <- WaitUntil(c, start.Add(10*time.Second), wake) }()
+	time.Sleep(5 * time.Millisecond) // let the waiter block
+	wake <- struct{}{}
+	select {
+	case woken := <-done:
+		if !woken {
+			t.Fatal("WaitUntil did not report the early wake")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUntil ignored the wake")
+	}
+	if c.Since(start) > 5*time.Second {
+		t.Fatal("WaitUntil slept to the deadline despite the wake")
+	}
+}
+
+func TestWaitUntilPastDeadlineReturnsImmediately(t *testing.T) {
+	c := NewScaled(1)
+	if woken := WaitUntil(c, c.Now().Add(-time.Second), nil); woken {
+		t.Fatal("WaitUntil woken on an already-past deadline")
+	}
+}
+
+func TestWaitUntilOnManualClock(t *testing.T) {
+	c := NewManual()
+	wake := make(chan struct{}, 1)
+	done := make(chan bool, 1)
+	go func() { done <- WaitUntil(c, Epoch.Add(time.Second), wake) }()
+	time.Sleep(5 * time.Millisecond)
+	c.Advance(2 * time.Second)
+	select {
+	case woken := <-done:
+		if woken {
+			t.Fatal("WaitUntil reported woken; the clock advanced past the deadline")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUntil never observed the manual advance")
+	}
+}

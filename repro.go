@@ -87,6 +87,9 @@ var (
 	Grid    = dataflows.Grid
 	Traffic = dataflows.Traffic
 	LinearN = dataflows.LinearN
+	// GridScaled is Grid with k-fold parallelism (sized for k*8 ev/s),
+	// the high-parallelism stress scenario for the delivery fabric.
+	GridScaled = dataflows.GridScaled
 )
 
 // DAGByName resolves a benchmark dataflow by name.
