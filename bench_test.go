@@ -227,8 +227,15 @@ func BenchmarkA3CheckpointFreshness(b *testing.B) {
 // parallelism — which is what capped simulable topology sizes. Together
 // with BenchmarkFabricThroughput (internal/runtime) and
 // BenchmarkQueuePushPop (internal/queue) this seeds the perf trajectory.
-func BenchmarkGridHighParallelism(b *testing.B) {
-	const factor = 4
+func BenchmarkGridHighParallelism(b *testing.B) { benchGridScaled(b, 4) }
+
+// BenchmarkGridHighParallelism8 runs Grid at 8x the paper's instance
+// counts (168 inner instances) — the contention proof point for the
+// sharded acker/collector and the pooled, batch-handoff fabric: per-event
+// cost stays flat as the reporter count doubles.
+func BenchmarkGridHighParallelism8(b *testing.B) { benchGridScaled(b, 8) }
+
+func benchGridScaled(b *testing.B, factor int) {
 	const horizon = 30 * time.Second // paper time per iteration
 	spec := GridScaled(factor)
 	scale := benchScale()
@@ -249,7 +256,7 @@ func BenchmarkGridHighParallelism(b *testing.B) {
 			slotIdx++
 		}
 		cfg := DefaultConfig(ModeCCR)
-		cfg.SourceRate = factor * 8
+		cfg.SourceRate = float64(factor * 8)
 		eng, err := NewEngine(Params{
 			Topology:        spec.Topology,
 			Factory:         CountFactory,

@@ -1,0 +1,232 @@
+// Command benchdiff runs the repository's performance benchmarks and
+// writes a machine-readable snapshot (name → ns/op, B/op, allocs/op and
+// any custom metrics) so hot-path regressions show up as a diff instead
+// of an anecdote. Typical usage:
+//
+//	go run ./cmd/benchdiff -out BENCH_PR3.json          # snapshot
+//	go run ./cmd/benchdiff -against BENCH_PR3.json      # run + compare
+//	go run ./cmd/benchdiff -against old.json -out new.json
+//
+// The default target set covers the perf-critical packages (acker,
+// metrics, queue, runtime fabric, statestore codec) plus the root
+// package's high-parallelism Grid run; the full §5 evaluation-matrix
+// benchmarks are deliberately excluded (they run the 30-cell matrix and
+// measure the paper's artifacts, not the hot path).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchTarget is one `go test -bench` invocation.
+type benchTarget struct {
+	Pkg       string
+	Bench     string // -bench regex
+	Benchtime string // overrides the global -benchtime when set
+}
+
+// defaultTargets are the perf-critical benchmark suites. The Grid runs
+// execute a whole engine for 30 paper-seconds per iteration, so they
+// pin -benchtime to one iteration.
+var defaultTargets = []benchTarget{
+	{Pkg: "./internal/acker", Bench: "."},
+	{Pkg: "./internal/metrics", Bench: "."},
+	{Pkg: "./internal/queue", Bench: "."},
+	{Pkg: "./internal/runtime", Bench: "."},
+	{Pkg: "./internal/statestore", Bench: "."},
+	{Pkg: ".", Bench: "BenchmarkGridHighParallelism", Benchtime: "1x"},
+}
+
+// Result is the parsed measurement of one benchmark.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsIsSet bool               `json:"-"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file layout benchdiff writes.
+type Snapshot struct {
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchtime  string            `json:"benchtime"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	out := fs.String("out", "", "write the snapshot JSON to this file")
+	against := fs.String("against", "", "compare the run against a previous snapshot file")
+	benchtime := fs.String("benchtime", "20000x", "benchtime passed to go test (per-target overrides win)")
+	pkgs := fs.String("pkgs", "", "comma-separated package list overriding the default targets (bench regex '.')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	targets := defaultTargets
+	if *pkgs != "" {
+		targets = nil
+		for _, p := range strings.Split(*pkgs, ",") {
+			targets = append(targets, benchTarget{Pkg: strings.TrimSpace(p), Bench: "."})
+		}
+	}
+
+	snap := Snapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  *benchtime,
+		Benchmarks: make(map[string]Result),
+	}
+	for _, t := range targets {
+		bt := *benchtime
+		if t.Benchtime != "" {
+			bt = t.Benchtime
+		}
+		fmt.Fprintf(stdout, "== %s -bench %s -benchtime %s\n", t.Pkg, t.Bench, bt)
+		// -p 1 serializes packages: benchmarks here run under
+		// wall-clock-backed compressed paper time.
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", t.Bench,
+			"-benchtime", bt, "-benchmem", "-p", "1", t.Pkg)
+		raw, err := cmd.CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("%s: %v\n%s", t.Pkg, err, raw)
+		}
+		parsed := parseBenchOutput(string(raw))
+		for name, r := range parsed {
+			snap.Benchmarks[t.Pkg+"/"+name] = r
+		}
+		fmt.Fprintf(stdout, "   %d benchmarks\n", len(parsed))
+	}
+
+	if *against != "" {
+		old, err := readSnapshot(*against)
+		if err != nil {
+			return err
+		}
+		printDiff(stdout, old, snap)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+	}
+	if *out == "" && *against == "" {
+		data, _ := json.MarshalIndent(snap, "", "  ")
+		fmt.Fprintln(stdout, string(data))
+	}
+	return nil
+}
+
+// parseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. A line looks like:
+//
+//	BenchmarkName-8   1000   123.4 ns/op   56 B/op   2 allocs/op   7.5 ev/s
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchOutput(out string) map[string]Result {
+	results := make(map[string]Result)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+				r.AllocsIsSet = true
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		results[fields[0]] = r
+	}
+	return results
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// printDiff renders old vs new ns/op and allocs/op side by side.
+func printDiff(w io.Writer, old, new Snapshot) {
+	names := make([]string, 0, len(new.Benchmarks))
+	for name := range new.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-64s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs o→n")
+	for _, name := range names {
+		n := new.Benchmarks[name]
+		o, ok := old.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-64s %14s %14.1f %8s %12s\n", name, "-", n.NsPerOp, "new", allocsCell(n, Result{}, false))
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-64s %14.1f %14.1f %8s %12s\n", name, o.NsPerOp, n.NsPerOp, delta, allocsCell(n, o, true))
+	}
+}
+
+func allocsCell(n, o Result, haveOld bool) string {
+	if !n.AllocsIsSet && n.AllocsPerOp == 0 {
+		return ""
+	}
+	if haveOld {
+		return fmt.Sprintf("%.0f→%.0f", o.AllocsPerOp, n.AllocsPerOp)
+	}
+	return fmt.Sprintf("%.0f", n.AllocsPerOp)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/runtime
+BenchmarkFabricThroughput        	  300000	       818.9 ns/op	      79 B/op	       2 allocs/op
+BenchmarkFabricThroughputLatency 	  300000	       881.6 ns/op	      76 B/op	       2 allocs/op
+BenchmarkGridHighParallelism-8   	       1	123456789 ns/op	     125.0 sink-ev/s(paper)	      90.0 goroutines
+PASS
+ok  	repro/internal/runtime	0.387s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got := parseBenchOutput(sampleOut)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	ft := got["BenchmarkFabricThroughput"]
+	if ft.Iterations != 300000 || ft.NsPerOp != 818.9 || ft.BytesPerOp != 79 || ft.AllocsPerOp != 2 {
+		t.Fatalf("fabric throughput parsed wrong: %+v", ft)
+	}
+	hp := got["BenchmarkGridHighParallelism-8"]
+	if hp.NsPerOp != 123456789 {
+		t.Fatalf("ns/op = %v", hp.NsPerOp)
+	}
+	if hp.Metrics["sink-ev/s(paper)"] != 125 || hp.Metrics["goroutines"] != 90 {
+		t.Fatalf("custom metrics parsed wrong: %+v", hp.Metrics)
+	}
+}
+
+func TestDiffRendersAgainstSnapshot(t *testing.T) {
+	old := Snapshot{Benchmarks: map[string]Result{
+		"./internal/runtime/BenchmarkFabricThroughput": {NsPerOp: 919.2, AllocsPerOp: 4, AllocsIsSet: true},
+	}}
+	new := Snapshot{Benchmarks: map[string]Result{
+		"./internal/runtime/BenchmarkFabricThroughput": {NsPerOp: 818.9, AllocsPerOp: 2, AllocsIsSet: true},
+		"./internal/acker/BenchmarkAckerParallel":      {NsPerOp: 300.0, AllocsPerOp: 1, AllocsIsSet: true},
+	}}
+	var buf bytes.Buffer
+	printDiff(&buf, old, new)
+	out := buf.String()
+	if !strings.Contains(out, "4→2") {
+		t.Fatalf("diff missing allocs transition:\n%s", out)
+	}
+	if !strings.Contains(out, "-10.9%") {
+		t.Fatalf("diff missing ns/op delta:\n%s", out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Fatalf("diff missing new-benchmark marker:\n%s", out)
+	}
+}
+
+// TestRunSmoke executes the tool end to end against the fastest target
+// only; skipped in -short runs (it shells out to go test).
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go test")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "snap.json")
+	var buf bytes.Buffer
+	err := run([]string{"-pkgs", "repro/internal/queue", "-benchtime", "10x", "-out", out}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BenchmarkQueuePushPop") {
+		t.Fatalf("snapshot missing queue benchmark:\n%s", data)
+	}
+	// Comparing a snapshot against itself must not error.
+	if err := run([]string{"-pkgs", "repro/internal/queue", "-benchtime", "10x", "-against", out}, &buf); err != nil {
+		t.Fatalf("diff run: %v", err)
+	}
+}

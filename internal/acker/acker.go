@@ -13,10 +13,18 @@
 // roots sit in the newest bucket; every timeout/buckets interval the
 // oldest bucket expires and its roots are failed. A root is therefore
 // failed between timeout and timeout*(1+1/buckets) after registration.
+//
+// The service is sharded: causal trees are partitioned across independent
+// lock+wheel shards by a hash of their root ID, so concurrent sources and
+// executors acking different trees never contend on a lock. Under DSM —
+// where every data event crosses the acker twice (anchor + ack) — the
+// single global mutex of the earlier design was the hottest lock in the
+// whole engine. Aggregate counters are atomics, read lock-free by Stats.
 package acker
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/timex"
 	"repro/internal/tuple"
@@ -72,12 +80,11 @@ type entry struct {
 	bucket  int
 }
 
-// Service tracks causal trees. It is safe for concurrent use. Construct
-// with New and release with Close.
-type Service struct {
-	clock   timex.Clock
-	timeout time.Duration
-	nbkts   int
+// shard is one independent slice of the tracked-tree space: its own
+// mutex, entry map, rotating bucket wheel, and rotation timer. All state
+// of a given root lives in exactly one shard.
+type shard struct {
+	svc *Service
 
 	mu       sync.Mutex
 	entries  map[tuple.ID]*entry
@@ -86,63 +93,130 @@ type Service struct {
 	closed   bool
 	rotating timex.Timer
 
-	registered uint64
-	completed  uint64
-	timedOut   uint64
+	// Per-shard slices of the aggregate counters. Keeping them on the
+	// shard (not the Service) is what makes the hot path contention-free:
+	// a Service-level counter would put one shared cache line back into
+	// every Register/Ack, re-serializing exactly what the sharding
+	// removed. They are atomics so Stats/Pending can sum them lock-free.
+	registered atomic.Uint64
+	completed  atomic.Uint64
+	timedOut   atomic.Uint64
+	pending    atomic.Int64
+
+	// pad keeps shards on separate cache lines so uncontended shard locks
+	// do not false-share.
+	_ [64]byte
+}
+
+// Service tracks causal trees. It is safe for concurrent use. Construct
+// with New (or NewSharded) and release with Close.
+type Service struct {
+	clock   timex.Clock
+	timeout time.Duration
+	nbkts   int
+
+	shards []*shard
+	mask   uint64 // len(shards)-1; shard count is a power of two
+	closed atomic.Bool
 }
 
 // New creates a service with the given ack timeout, expired with nbuckets
 // rotating buckets (Storm uses a handful; 3 is typical). timeout <= 0
-// disables timeouts entirely (trees only complete or abort).
+// disables timeouts entirely (trees only complete or abort). The shard
+// count defaults to GOMAXPROCS rounded up to a power of two.
 func New(clock timex.Clock, timeout time.Duration, nbuckets int) *Service {
+	return NewSharded(clock, timeout, nbuckets, 0)
+}
+
+// NewSharded is New with an explicit shard count (rounded up to a power
+// of two; <= 0 means GOMAXPROCS). A single shard reproduces the earlier
+// global-mutex behavior exactly, which the equivalence tests rely on.
+func NewSharded(clock timex.Clock, timeout time.Duration, nbuckets, nshards int) *Service {
 	if nbuckets < 1 {
 		nbuckets = 1
+	}
+	if nshards <= 0 {
+		nshards = tuple.DefaultShards()
+	}
+	pow := 1
+	for pow < nshards {
+		pow <<= 1
 	}
 	s := &Service{
 		clock:   clock,
 		timeout: timeout,
 		nbkts:   nbuckets,
-		entries: make(map[tuple.ID]*entry),
-		buckets: make([]map[tuple.ID]struct{}, nbuckets+1),
+		shards:  make([]*shard, pow),
+		mask:    uint64(pow - 1),
 	}
-	for i := range s.buckets {
-		s.buckets[i] = make(map[tuple.ID]struct{})
-	}
-	if timeout > 0 {
-		s.scheduleRotate()
+	for i := range s.shards {
+		sh := &shard{
+			svc:     s,
+			entries: make(map[tuple.ID]*entry),
+			buckets: make([]map[tuple.ID]struct{}, nbuckets+1),
+		}
+		for j := range sh.buckets {
+			sh.buckets[j] = make(map[tuple.ID]struct{})
+		}
+		s.shards[i] = sh
+		if timeout > 0 {
+			// Arm under the shard lock: with a heavily compressed clock the
+			// first rotation can fire before construction finishes, and
+			// rotate re-writes sh.rotating under the same lock.
+			sh.mu.Lock()
+			sh.scheduleRotate()
+			sh.mu.Unlock()
+		}
 	}
 	return s
 }
 
-func (s *Service) scheduleRotate() {
-	interval := s.timeout / time.Duration(s.nbkts)
-	s.rotating = s.clock.AfterFunc(interval, s.rotate)
+// ShardCount reports the number of independent shards (diagnostics).
+func (s *Service) ShardCount() int { return len(s.shards) }
+
+// shardOf routes a root to its owning shard. Root IDs issued by
+// tuple.IDGen are already splitmix64-mixed, but callers (and tests) may
+// use arbitrary IDs, so the hash is re-mixed here to keep the
+// distribution uniform for any ID choice.
+func (s *Service) shardOf(root tuple.ID) *shard {
+	return s.shards[tuple.Mix64(uint64(root))&s.mask]
 }
 
-// rotate expires the oldest bucket and fails its roots.
-func (s *Service) rotate() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+// scheduleRotate arms the shard's next rotation. Callers either hold
+// sh.mu or are constructing the service (no concurrent access yet).
+func (sh *shard) scheduleRotate() {
+	interval := sh.svc.timeout / time.Duration(sh.svc.nbkts)
+	sh.rotating = sh.svc.clock.AfterFunc(interval, sh.rotate)
+}
+
+// rotate expires the shard's oldest bucket and fails its roots. It is
+// idempotent against Close racing the timer callback: once the shard is
+// marked closed, a rotation that was already in flight neither expires
+// entries nor re-arms the timer.
+func (sh *shard) rotate() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return
 	}
-	oldest := (s.newest + 1) % len(s.buckets)
-	expired := s.buckets[oldest]
-	s.buckets[oldest] = make(map[tuple.ID]struct{})
-	s.newest = oldest
+	oldest := (sh.newest + 1) % len(sh.buckets)
+	expired := sh.buckets[oldest]
+	sh.buckets[oldest] = make(map[tuple.ID]struct{})
+	sh.newest = oldest
 
 	var failed []Handler
 	var roots []tuple.ID
 	for root := range expired {
-		if e, ok := s.entries[root]; ok {
-			delete(s.entries, root)
-			s.timedOut++
+		if e, ok := sh.entries[root]; ok {
+			delete(sh.entries, root)
+			sh.timedOut.Add(1)
+			sh.pending.Add(-1)
 			failed = append(failed, e.handler)
 			roots = append(roots, root)
 		}
 	}
-	s.scheduleRotate()
-	s.mu.Unlock()
+	sh.scheduleRotate()
+	sh.mu.Unlock()
 
 	for i, h := range failed {
 		if h != nil {
@@ -155,17 +229,19 @@ func (s *Service) rotate() {
 // itself is anchored implicitly. handler is invoked exactly once with the
 // final outcome. Registering an already-tracked root is a no-op.
 func (s *Service) Register(root tuple.ID, handler Handler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardOf(root)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
 		return
 	}
-	if _, dup := s.entries[root]; dup {
+	if _, dup := sh.entries[root]; dup {
 		return
 	}
-	s.entries[root] = &entry{hash: uint64(root), handler: handler, bucket: s.newest}
-	s.buckets[s.newest][root] = struct{}{}
-	s.registered++
+	sh.entries[root] = &entry{hash: uint64(root), handler: handler, bucket: sh.newest}
+	sh.buckets[sh.newest][root] = struct{}{}
+	sh.registered.Add(1)
+	sh.pending.Add(1)
 }
 
 // Anchor records the emission of event id within root's tree.
@@ -180,10 +256,11 @@ func (s *Service) Ack(root, id tuple.ID) {
 }
 
 func (s *Service) xor(root, id tuple.ID) {
-	s.mu.Lock()
-	e, ok := s.entries[root]
+	sh := s.shardOf(root)
+	sh.mu.Lock()
+	e, ok := sh.entries[root]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	e.hash ^= uint64(id)
@@ -191,19 +268,20 @@ func (s *Service) xor(root, id tuple.ID) {
 		// Keep hot trees alive: move to the newest bucket so active
 		// processing is not expired mid-flight (Storm resets the entry's
 		// rotation on update).
-		if e.bucket != s.newest {
-			delete(s.buckets[e.bucket], root)
-			s.buckets[s.newest][root] = struct{}{}
-			e.bucket = s.newest
+		if e.bucket != sh.newest {
+			delete(sh.buckets[e.bucket], root)
+			sh.buckets[sh.newest][root] = struct{}{}
+			e.bucket = sh.newest
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	delete(s.entries, root)
-	delete(s.buckets[e.bucket], root)
-	s.completed++
+	delete(sh.entries, root)
+	delete(sh.buckets[e.bucket], root)
+	sh.completed.Add(1)
+	sh.pending.Add(-1)
 	h := e.handler
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if h != nil {
 		h(root, Completed)
 	}
@@ -212,56 +290,74 @@ func (s *Service) xor(root, id tuple.ID) {
 // Forget stops tracking root without invoking its handler. Used when a
 // coordinator supersedes a wave.
 func (s *Service) Forget(root tuple.ID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.entries[root]; ok {
-		delete(s.entries, root)
-		delete(s.buckets[e.bucket], root)
+	sh := s.shardOf(root)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[root]; ok {
+		delete(sh.entries, root)
+		delete(sh.buckets[e.bucket], root)
+		sh.pending.Add(-1)
 	}
 }
 
 // Pending reports the number of trees in flight.
 func (s *Service) Pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	n := int64(0)
+	for _, sh := range s.shards {
+		n += sh.pending.Load()
+	}
+	return int(n)
 }
 
-// Stats returns a snapshot of service counters.
+// Stats returns a snapshot of service counters, summed lock-free over
+// the per-shard atomic slices; after the service quiesces it equals the
+// single-mutex snapshot of the earlier design exactly.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Registered: s.registered,
-		Completed:  s.completed,
-		TimedOut:   s.timedOut,
-		Pending:    len(s.entries),
+	var st Stats
+	for _, sh := range s.shards {
+		st.Registered += sh.registered.Load()
+		st.Completed += sh.completed.Load()
+		st.TimedOut += sh.timedOut.Load()
+		st.Pending += int(sh.pending.Load())
 	}
+	return st
 }
 
 // Close aborts all pending trees (handlers receive Aborted) and stops the
-// rotation timer.
+// rotation timers. Close is idempotent and safe against rotation
+// callbacks already in flight: each shard is marked closed under its own
+// lock, after which a racing rotate neither fails entries nor re-arms.
 func (s *Service) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
+		// Another Close already swept the shards. (A Close still mid-sweep
+		// is also fine — the per-shard closed flags make the sweep itself
+		// idempotent — but there is nothing left for this call to do.)
 		return
-	}
-	s.closed = true
-	if s.rotating != nil {
-		s.rotating.Stop()
 	}
 	var handlers []Handler
 	var roots []tuple.ID
-	for root, e := range s.entries {
-		handlers = append(handlers, e.handler)
-		roots = append(roots, root)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			continue
+		}
+		sh.closed = true
+		if sh.rotating != nil {
+			sh.rotating.Stop()
+			sh.rotating = nil
+		}
+		for root, e := range sh.entries {
+			handlers = append(handlers, e.handler)
+			roots = append(roots, root)
+		}
+		sh.pending.Add(-int64(len(sh.entries)))
+		sh.entries = make(map[tuple.ID]*entry)
+		for i := range sh.buckets {
+			sh.buckets[i] = make(map[tuple.ID]struct{})
+		}
+		sh.mu.Unlock()
 	}
-	s.entries = make(map[tuple.ID]*entry)
-	for i := range s.buckets {
-		s.buckets[i] = make(map[tuple.ID]struct{})
-	}
-	s.mu.Unlock()
 	for i, h := range handlers {
 		if h != nil {
 			h(roots[i], Aborted)

@@ -1,0 +1,263 @@
+package acker
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// traceOp is one step of a replayable acker workload.
+type traceOp struct {
+	kind    int // 0 register, 1 anchor, 2 ack, 3 forget, 4 advance clock
+	root    tuple.ID
+	id      tuple.ID
+	advance time.Duration
+}
+
+// genTrace builds a randomized but replayable op sequence: trees that
+// complete, trees left to time out, forgotten trees, and interleaved
+// clock advances that trigger rotations.
+func genTrace(seed int64, trees int) []traceOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []traceOp
+	for t := 0; t < trees; t++ {
+		root := tuple.ID(rng.Uint64() | 1)
+		ops = append(ops, traceOp{kind: 0, root: root})
+		fate := rng.Intn(10)
+		children := rng.Intn(6)
+		ids := make([]tuple.ID, children)
+		for c := range ids {
+			ids[c] = tuple.ID(rng.Uint64() | 1)
+			ops = append(ops, traceOp{kind: 1, root: root, id: ids[c]})
+		}
+		switch {
+		case fate < 6: // complete fully
+			ops = append(ops, traceOp{kind: 2, root: root, id: root})
+			for _, id := range ids {
+				ops = append(ops, traceOp{kind: 2, root: root, id: id})
+			}
+		case fate < 8: // leave a child unacked → times out
+			ops = append(ops, traceOp{kind: 2, root: root, id: root})
+			for _, id := range ids[:len(ids)/2] {
+				ops = append(ops, traceOp{kind: 2, root: root, id: id})
+			}
+		default: // forget
+			ops = append(ops, traceOp{kind: 3, root: root})
+		}
+		if rng.Intn(4) == 0 {
+			ops = append(ops, traceOp{kind: 4, advance: time.Duration(rng.Intn(12)) * time.Second})
+		}
+	}
+	ops = append(ops, traceOp{kind: 4, advance: 2 * time.Minute}) // flush all timeouts
+	return ops
+}
+
+func replay(t *testing.T, ops []traceOp, nshards int) (Stats, map[tuple.ID]Outcome) {
+	t.Helper()
+	clock := timex.NewManual()
+	s := NewSharded(clock, 30*time.Second, 3, nshards)
+	defer s.Close()
+	rec := newRecord()
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			s.Register(op.root, rec.handler)
+		case 1:
+			s.Anchor(op.root, op.id)
+		case 2:
+			s.Ack(op.root, op.id)
+		case 3:
+			s.Forget(op.root)
+		case 4:
+			clock.Advance(op.advance)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make(map[tuple.ID]Outcome, len(rec.outcomes))
+	for k, v := range rec.outcomes {
+		out[k] = v
+	}
+	return s.Stats(), out
+}
+
+// TestShardedMatchesSingleShard replays identical traces through a
+// 1-shard service (the earlier global-mutex behavior) and a multi-shard
+// one, and requires identical counters and per-root outcomes — the
+// "Stats/Handler semantics identical" contract of the sharding refactor.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ops := genTrace(seed, 120)
+		refStats, refOut := replay(t, ops, 1)
+		gotStats, gotOut := replay(t, ops, 8)
+		if refStats != gotStats {
+			t.Fatalf("seed %d: stats diverge: 1-shard %+v vs 8-shard %+v", seed, refStats, gotStats)
+		}
+		if len(refOut) != len(gotOut) {
+			t.Fatalf("seed %d: outcome count %d vs %d", seed, len(refOut), len(gotOut))
+		}
+		for root, o := range refOut {
+			if gotOut[root] != o {
+				t.Fatalf("seed %d: root %d outcome %v vs %v", seed, root, o, gotOut[root])
+			}
+		}
+	}
+}
+
+// TestShardedParallelStress hammers a sharded service from many
+// goroutines (run under -race in CI) and checks the aggregate counters
+// balance exactly: every registered tree ends Completed, and the atomic
+// totals agree with the handler-observed totals.
+func TestShardedParallelStress(t *testing.T) {
+	clock := timex.NewScaled(0.001)
+	s := New(clock, time.Hour, 3)
+	defer s.Close()
+
+	workers := 2 * runtime.GOMAXPROCS(0)
+	const treesPer = 200
+	const children = 12
+	rec := newRecord()
+	var wg sync.WaitGroup
+	var idgen tuple.IDGen
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tr := 0; tr < treesPer; tr++ {
+				root := idgen.Next()
+				s.Register(root, rec.handler)
+				s.Ack(root, root)
+				for c := 0; c < children; c++ {
+					id := idgen.Next()
+					s.Anchor(root, id)
+					s.Ack(root, id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := workers * treesPer
+	rec.mu.Lock()
+	count := rec.count
+	for root, o := range rec.outcomes {
+		if o != Completed {
+			t.Fatalf("root %d outcome %v", root, o)
+		}
+	}
+	rec.mu.Unlock()
+	if count != want {
+		t.Fatalf("%d outcomes, want %d", count, want)
+	}
+	st := s.Stats()
+	if st.Registered != uint64(want) || st.Completed != uint64(want) || st.TimedOut != 0 || st.Pending != 0 {
+		t.Fatalf("stats off balance: %+v (want %d registered+completed)", st, want)
+	}
+}
+
+// TestCloseRotateRace is the regression test for the Close-vs-rotate
+// timer race: with a fast-rotating wheel, Close racing the rotation
+// callback must not let rotate re-arm its timer or fail entries after
+// the shard is closed — every handler fires exactly once, and no
+// timeout lands after Close returns.
+func TestCloseRotateRace(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		clock := timex.NewScaled(0.001)                   // 1000x compression
+		s := NewSharded(clock, 40*time.Millisecond, 4, 4) // rotates every 10ms paper = 10µs wall
+		rec := newRecord()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(2)
+		go func() { // registration churn keeps buckets non-empty
+			defer wg.Done()
+			<-start
+			var idgen tuple.IDGen
+			for i := 0; i < 200; i++ {
+				s.Register(idgen.Next(), rec.handler)
+			}
+		}()
+		go func() { // Close races the rotation callbacks
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+			s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		s.Close() // idempotent
+
+		timedOutAtClose := s.Stats().TimedOut
+		// A rotation timer re-armed past Close would fire well within this
+		// wall sleep (the wheel period is ~10 µs of wall time here) and
+		// bump TimedOut; the counter must stay frozen.
+		time.Sleep(2 * time.Millisecond)
+		if got := s.Stats().TimedOut; got != timedOutAtClose {
+			t.Fatalf("round %d: %d timeouts fired after Close (was %d)", round, got-timedOutAtClose, timedOutAtClose)
+		}
+		// Exactly-once handler contract: one outcome per root, no root
+		// failed by a rotation and then aborted again by Close.
+		rec.mu.Lock()
+		calls, roots := rec.count, len(rec.outcomes)
+		rec.mu.Unlock()
+		if calls != roots {
+			t.Fatalf("round %d: %d handler calls for %d roots (double fire)", round, calls, roots)
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("round %d: Pending = %d after Close", round, s.Pending())
+		}
+	}
+}
+
+// BenchmarkAckerParallel measures the full per-tree hot path (register,
+// anchor+ack children, complete) under parallel load. With the sharded
+// service the throughput scales with GOMAXPROCS (`-cpu 1,2,4,8`); the
+// single-mutex design flat-lined.
+func BenchmarkAckerParallel(b *testing.B) {
+	clock := timex.NewScaled(0.001)
+	s := New(clock, time.Hour, 3)
+	defer s.Close()
+	benchAckerParallel(b, s)
+}
+
+// BenchmarkAckerParallelSingleShard is the same workload against one
+// shard — the earlier global-mutex design — for direct comparison.
+func BenchmarkAckerParallelSingleShard(b *testing.B) {
+	clock := timex.NewScaled(0.001)
+	s := NewSharded(clock, time.Hour, 3, 1)
+	defer s.Close()
+	benchAckerParallel(b, s)
+}
+
+func benchAckerParallel(b *testing.B, s *Service) {
+	const children = 4
+	var worker atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine ID stream: a shared IDGen would put one contended
+		// cache line into every iteration and measure the harness, not
+		// the service. Streams are disjoint (high bits) and mixed like
+		// real IDs.
+		next := worker.Add(1) << 40
+		newID := func() tuple.ID {
+			next++
+			return tuple.ID(tuple.Mix64(next))
+		}
+		for pb.Next() {
+			root := newID()
+			s.Register(root, nil)
+			s.Ack(root, root)
+			for c := 0; c < children; c++ {
+				id := newID()
+				s.Anchor(root, id)
+				s.Ack(root, id)
+			}
+		}
+	})
+}

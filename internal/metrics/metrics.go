@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/timex"
@@ -73,8 +74,23 @@ type Metrics struct {
 }
 
 // Collector accumulates run telemetry. Safe for concurrent use.
+//
+// The per-event recording path is sharded (see shard.go): hot-path
+// goroutines record through Reporter handles into independent shards,
+// and the master state below is brought up to date lazily — queries
+// call mergeLocked under mu before reading. The legacy SourceEmit /
+// SinkReceive methods remain and record through a default reporter.
 type Collector struct {
 	clock timex.Clock
+
+	shards []*recShard
+	rr     atomic.Uint64 // round-robin reporter assignment
+
+	// Request-instant mirrors readable from the lock-free record path.
+	hasReqA  atomic.Bool
+	reqNanos atomic.Int64
+
+	def *Reporter // backs the legacy method-based recording API
 
 	mu        sync.Mutex
 	start     time.Time
@@ -106,16 +122,33 @@ type Collector struct {
 }
 
 // NewCollector starts a collector; the run origin is the clock's now.
+// The shard count defaults to GOMAXPROCS with a floor of 4.
 func NewCollector(clock timex.Clock) *Collector {
-	return &Collector{
+	return NewCollectorSharded(clock, 0)
+}
+
+// NewCollectorSharded is NewCollector with an explicit recording-shard
+// count (<= 0 means the default). One shard reproduces the earlier
+// single-mutex collector exactly, which the equivalence tests rely on.
+func NewCollectorSharded(clock timex.Clock, nshards int) *Collector {
+	if nshards <= 0 {
+		nshards = tuple.DefaultShards()
+	}
+	c := &Collector{
 		clock:     clock,
 		start:     clock.Now(),
+		shards:    make([]*recShard, nshards),
 		inBins:    make(map[int]int),
 		outBins:   make(map[int]int),
 		latSum:    make(map[int]time.Duration),
 		latCount:  make(map[int]int),
 		recentLat: make(map[int][]time.Duration),
 	}
+	for i := range c.shards {
+		c.shards[i] = newRecShard()
+	}
+	c.def = c.Reporter()
+	return c
 }
 
 // Start returns the run origin.
@@ -131,6 +164,11 @@ func (c *Collector) MarkMigrationRequested() {
 	defer c.mu.Unlock()
 	c.requested = c.clock.Now()
 	c.hasReq = true
+	// Publish to the record path: the atomics are written after the
+	// master fields but read without mu, so a racing record classifies
+	// against the instant exactly as a racing lock acquisition would.
+	c.reqNanos.Store(c.requested.UnixNano())
+	c.hasReqA.Store(true)
 }
 
 // MigrationRequested returns the request instant (zero if not yet marked).
@@ -163,54 +201,23 @@ func (c *Collector) MarkRebalanceEnd() {
 }
 
 // SourceEmit records one source emission; replayed marks re-emissions
-// triggered by ack timeouts.
+// triggered by ack timeouts. Hot paths should hold their own Reporter
+// instead (this delegates to a shared default one).
 func (c *Collector) SourceEmit(replayed bool) {
-	now := c.clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.inBins[c.bin(now)]++
-	if replayed {
-		c.replayed++
-	} else {
-		c.emitted++
-	}
+	c.def.SourceEmit(replayed)
 }
 
-// SinkReceive records the arrival of ev at a sink.
+// SinkReceive records the arrival of ev at a sink. Hot paths should hold
+// their own Reporter instead (this delegates to a shared default one).
 func (c *Collector) SinkReceive(ev *tuple.Event) {
-	now := c.clock.Now()
-	latency := now.Sub(ev.RootEmit)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b := c.bin(now)
-	c.outBins[b]++
-	c.latSum[b] += latency
-	c.latCount[b]++
-	c.recordRecentLocked(b, latency)
-	c.sinkCount++
-
-	if !c.hasReq {
-		c.preLatencies = append(c.preLatencies, latency)
-		return
-	}
-	c.postLatencies = append(c.postLatencies, latency)
-	if now.After(c.requested) {
-		if c.firstSinkAfterReq.IsZero() {
-			c.firstSinkAfterReq = now
-		}
-		if ev.PreMigration && now.After(c.lastPreMigration) {
-			c.lastPreMigration = now
-		}
-		if ev.Replayed && now.After(c.lastReplayed) {
-			c.lastReplayed = now
-		}
-	}
+	c.def.SinkReceive(ev)
 }
 
 // ReplayedCount returns the replay count so far.
 func (c *Collector) ReplayedCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeLocked()
 	return c.replayed
 }
 
@@ -228,6 +235,7 @@ func (c *Collector) OutputTimeline() []Sample {
 func (c *Collector) timeline(pick func() map[int]int) []Sample {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeLocked()
 	bins := pick()
 	maxBin := 0
 	for b := range bins {
@@ -247,6 +255,7 @@ func (c *Collector) timeline(pick func() map[int]int) []Sample {
 func (c *Collector) LatencyTimeline(window time.Duration) []Sample {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeLocked()
 	maxBin := 0
 	for b := range c.latCount {
 		if b > maxBin {
@@ -299,6 +308,7 @@ func DefaultStabilization(expectedRate float64) StabilizationSpec {
 func (c *Collector) Compute(spec StabilizationSpec, lostRoots int) Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeLocked()
 
 	m := Metrics{
 		ReplayedCount: c.replayed,
@@ -444,6 +454,7 @@ func Digest(ds []time.Duration) LatencyDigest {
 func (c *Collector) PhaseLatencies() (pre, post LatencyDigest) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeLocked()
 	return Digest(c.preLatencies), Digest(c.postLatencies)
 }
 

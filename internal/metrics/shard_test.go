@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// recOp is one step of a replayable telemetry trace.
+type recOp struct {
+	kind    int // 0 emit, 1 replay-emit, 2 sink, 3 advance, 4 mark request
+	latency time.Duration
+	pre     bool
+	rep     bool
+	advance time.Duration
+}
+
+// genRecTrace builds a deterministic trace covering both migration
+// phases, replays, and enough clock motion to span many bins.
+func genRecTrace(seed int64, n int) []recOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]recOp, 0, n+2)
+	marked := false
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 3:
+			ops = append(ops, recOp{kind: 0})
+		case r == 3:
+			ops = append(ops, recOp{kind: 1})
+		case r < 8:
+			ops = append(ops, recOp{
+				kind:    2,
+				latency: time.Duration(rng.Intn(400)) * time.Millisecond,
+				pre:     rng.Intn(2) == 0,
+				rep:     rng.Intn(4) == 0,
+			})
+		case r == 8:
+			ops = append(ops, recOp{kind: 3, advance: time.Duration(rng.Intn(2000)) * time.Millisecond})
+		default:
+			if !marked && i > n/3 {
+				ops = append(ops, recOp{kind: 4})
+				marked = true
+			}
+		}
+	}
+	if !marked {
+		ops = append(ops, recOp{kind: 4})
+	}
+	ops = append(ops, recOp{kind: 3, advance: 90 * time.Second})
+	return ops
+}
+
+// replayTrace feeds a trace through a collector. Sink events flow
+// through nrep distinct Reporters round-robin, so multi-shard recording
+// paths are exercised even on a serial trace.
+func replayTrace(c *Collector, clock *timex.ManualClock, ops []recOp, nrep int) {
+	reps := make([]*Reporter, nrep)
+	for i := range reps {
+		reps[i] = c.Reporter()
+	}
+	i := 0
+	next := func() *Reporter { i++; return reps[i%nrep] }
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			next().SourceEmit(false)
+		case 1:
+			next().SourceEmit(true)
+		case 2:
+			ev := &tuple.Event{
+				Kind:         tuple.Data,
+				RootEmit:     clock.Now().Add(-op.latency),
+				PreMigration: op.pre,
+				Replayed:     op.rep,
+			}
+			next().SinkReceive(ev)
+		case 3:
+			clock.Advance(op.advance)
+		case 4:
+			c.MarkMigrationRequested()
+		}
+	}
+}
+
+// TestShardedCollectorMatchesSingleShard replays identical traces
+// through a 1-shard collector (the earlier single-mutex behavior) and a
+// multi-shard multi-reporter one, and requires every derived artifact —
+// the §4 metrics, both timelines, the latency timeline, phase digests,
+// and Window — to match exactly.
+func TestShardedCollectorMatchesSingleShard(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		ops := genRecTrace(seed, 600)
+
+		// Each collector gets its own clock instance advancing identically.
+		clockRef := timex.NewManual()
+		clockGot := timex.NewManual()
+		ref := NewCollectorSharded(clockRef, 1)
+		got := NewCollectorSharded(clockGot, 8)
+		replayTrace(ref, clockRef, ops, 1)
+		replayTrace(got, clockGot, ops, 5)
+
+		spec := DefaultStabilization(4)
+		mRef := ref.Compute(spec, 0)
+		mGot := got.Compute(spec, 0)
+		if mRef != mGot {
+			t.Fatalf("seed %d: metrics diverge:\n 1-shard: %+v\n 8-shard: %+v", seed, mRef, mGot)
+		}
+		if !reflect.DeepEqual(ref.InputTimeline(), got.InputTimeline()) {
+			t.Fatalf("seed %d: input timelines diverge", seed)
+		}
+		if !reflect.DeepEqual(ref.OutputTimeline(), got.OutputTimeline()) {
+			t.Fatalf("seed %d: output timelines diverge", seed)
+		}
+		if !reflect.DeepEqual(ref.LatencyTimeline(10*time.Second), got.LatencyTimeline(10*time.Second)) {
+			t.Fatalf("seed %d: latency timelines diverge", seed)
+		}
+		preRef, postRef := ref.PhaseLatencies()
+		preGot, postGot := got.PhaseLatencies()
+		if preRef != preGot || postRef != postGot {
+			t.Fatalf("seed %d: phase digests diverge: %v/%v vs %v/%v", seed, preRef, postRef, preGot, postGot)
+		}
+		wRef, wGot := ref.Window(30*time.Second), got.Window(30*time.Second)
+		if wRef != wGot {
+			t.Fatalf("seed %d: windows diverge: %+v vs %+v", seed, wRef, wGot)
+		}
+		if ref.ReplayedCount() != got.ReplayedCount() {
+			t.Fatalf("seed %d: replay counts diverge", seed)
+		}
+	}
+}
+
+// TestCollectorParallelStress records from many goroutines through
+// distinct Reporters (run under -race in CI) with queries interleaved,
+// then checks the aggregate totals balance exactly.
+func TestCollectorParallelStress(t *testing.T) {
+	clock := timex.NewManual()
+	c := NewCollector(clock)
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	const perWorker = 2000
+
+	var recorders sync.WaitGroup
+	var querier sync.WaitGroup
+	var stop atomic.Bool
+	// Query concurrently: merges must never lose or double-count deltas.
+	querier.Add(1)
+	go func() {
+		defer querier.Done()
+		for !stop.Load() {
+			c.Window(10 * time.Second)
+			c.ReplayedCount()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		recorders.Add(1)
+		go func() {
+			defer recorders.Done()
+			rep := c.Reporter()
+			ev := &tuple.Event{Kind: tuple.Data, RootEmit: clock.Now()}
+			for i := 0; i < perWorker; i++ {
+				rep.SourceEmit(i%10 == 0)
+				rep.SinkReceive(ev)
+			}
+		}()
+	}
+	recorders.Wait()
+	stop.Store(true)
+	querier.Wait()
+
+	want := workers * perWorker
+	m := c.Compute(DefaultStabilization(1), 0)
+	wantEmit := workers * perWorker * 9 / 10
+	wantReplay := workers * perWorker / 10
+	if m.EmittedRoots != wantEmit || m.SinkEvents != want {
+		t.Fatalf("emitted %d sink %d, want %d/%d", m.EmittedRoots, m.SinkEvents, wantEmit, want)
+	}
+	if got := c.ReplayedCount(); got != wantReplay {
+		t.Fatalf("replayed %d, want %d", got, wantReplay)
+	}
+	pre, _ := c.PhaseLatencies()
+	if pre.Count != want {
+		t.Fatalf("pre-phase latency samples %d, want %d", pre.Count, want)
+	}
+}
+
+// BenchmarkCollectorRecordParallel measures the steady-state per-event
+// recording path (one source emission + one sink arrival) under parallel
+// load, each goroutine holding its own Reporter as the runtime does.
+// With sharded accumulators the throughput scales with GOMAXPROCS
+// (`-cpu 1,2,4,8`); the single-mutex collector flat-lined.
+func BenchmarkCollectorRecordParallel(b *testing.B) {
+	clock := timex.NewScaled(0.001)
+	c := NewCollector(clock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rep := c.Reporter()
+		ev := &tuple.Event{Kind: tuple.Data, RootEmit: clock.Now()}
+		for pb.Next() {
+			rep.SourceEmit(false)
+			rep.SinkReceive(ev)
+		}
+	})
+}
+
+// BenchmarkCollectorRecordParallelSingleShard is the same workload on a
+// 1-shard collector — the earlier global-mutex design — for comparison.
+func BenchmarkCollectorRecordParallelSingleShard(b *testing.B) {
+	clock := timex.NewScaled(0.001)
+	c := NewCollectorSharded(clock, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rep := c.Reporter()
+		ev := &tuple.Event{Kind: tuple.Data, RootEmit: clock.Now()}
+		for pb.Next() {
+			rep.SourceEmit(false)
+			rep.SinkReceive(ev)
+		}
+	})
+}

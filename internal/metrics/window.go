@@ -30,6 +30,7 @@ const recentHorizon = 10 * time.Minute
 func (c *Collector) Window(d time.Duration) WindowStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeLocked()
 	bins := int((d + BinSize - 1) / BinSize)
 	if bins < 1 {
 		bins = 1
@@ -56,16 +57,5 @@ func (c *Collector) Window(d time.Duration) WindowStats {
 		InputRate:  float64(in) / secs,
 		OutputRate: float64(out) / secs,
 		Latency:    Digest(lats),
-	}
-}
-
-// recordRecentLocked appends a latency sample to the per-bin retention
-// buffer and prunes bins that fell out of the horizon. Callers hold c.mu.
-func (c *Collector) recordRecentLocked(b int, latency time.Duration) {
-	c.recentLat[b] = append(c.recentLat[b], latency)
-	floor := b - int(recentHorizon/BinSize)
-	for c.recentFloor < floor {
-		delete(c.recentLat, c.recentFloor)
-		c.recentFloor++
 	}
 }

@@ -99,6 +99,7 @@ func TestRecentLatencyPruning(t *testing.T) {
 	feed(c, clock, 50*time.Millisecond)
 
 	c.mu.Lock()
+	c.mergeLocked() // recording is sharded; retention lives in the merged master state
 	retained := len(c.recentLat)
 	c.mu.Unlock()
 	if retained != 1 {

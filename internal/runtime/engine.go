@@ -61,6 +61,7 @@ type Engine struct {
 
 	mu            sync.RWMutex
 	placement     map[string]cluster.SlotRef
+	placementInst map[topology.Instance]cluster.SlotRef // same placements, instance-keyed for the send hot path
 	executors     map[topology.Instance]*Executor
 	pendingSpawn  map[topology.Instance]*spawnBuffer
 	sources       []*Source
@@ -105,6 +106,7 @@ func New(p Params) (*Engine, error) {
 		idgen:         &tuple.IDGen{},
 		rng:           rand.New(rand.NewSource(p.Config.Seed)),
 		placement:     make(map[string]cluster.SlotRef),
+		placementInst: make(map[topology.Instance]cluster.SlotRef),
 		executors:     make(map[topology.Instance]*Executor),
 		pendingSpawn:  make(map[topology.Instance]*spawnBuffer),
 		respawnTimers: make(map[uint64]timex.Timer),
@@ -120,11 +122,13 @@ func New(p Params) (*Engine, error) {
 	// schedule.
 	for inst, ref := range p.Pinned {
 		e.placement[inst.String()] = ref
+		e.placementInst[inst] = ref
 	}
 	e.placement[coordinatorKey] = p.CoordinatorSlot
 	for _, inst := range p.InnerSchedule.Instances() {
 		ref, _ := p.InnerSchedule.Slot(inst)
 		e.placement[inst.String()] = ref
+		e.placementInst[inst] = ref
 	}
 
 	// Routing tables.
@@ -164,7 +168,7 @@ func New(p Params) (*Engine, error) {
 	}
 	// Last, after validation can no longer fail: the fabric spawns its
 	// shard goroutines eagerly, and an error return above would leak them.
-	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.deliver, p.Config.FabricShards)
+	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.slotOfInst, e.deliver, p.Config.FabricShards)
 	return e, nil
 }
 
@@ -430,6 +434,7 @@ func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 	for _, inst := range newSched.Instances() {
 		ref, _ := newSched.Slot(inst)
 		e.placement[inst.String()] = ref
+		e.placementInst[inst] = ref
 	}
 	e.innerSchedule = newSched
 	e.mu.Unlock()
@@ -462,6 +467,7 @@ func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 				if ev.IsData() {
 					e.lostKill.Add(1)
 				}
+				ev.Release() // retired with the buffer: nothing reads it again
 			}
 			old.events = nil
 			old.mu.Unlock()
@@ -520,9 +526,13 @@ func (e *Engine) spawn(inst topology.Instance) {
 		if buf != nil {
 			// Unregistered without a flush target: mark the buffer dead
 			// so a racing deliver fails over instead of appending into
-			// the void.
+			// the void, and release anything it still holds.
 			buf.mu.Lock()
 			buf.flushed = true
+			for _, ev := range buf.events {
+				ev.Release()
+			}
+			buf.events = nil
 			buf.mu.Unlock()
 		}
 		return
@@ -591,6 +601,14 @@ func (e *Engine) slotOf(key string) cluster.SlotRef {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.placement[key]
+}
+
+// slotOfInst resolves a destination instance's slot without building its
+// string key (allocation-free send path).
+func (e *Engine) slotOfInst(inst topology.Instance) cluster.SlotRef {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.placementInst[inst]
 }
 
 // spawnBuffer holds data events addressed to an instance whose worker is
@@ -715,12 +733,6 @@ func (e *Engine) forwardCheckpoint(from topology.Instance, ev *tuple.Event) {
 			e.fab.Send(from.String(), topology.Instance{Task: edge.To, Index: i}, cp)
 		}
 	}
-}
-
-// recordSink feeds a sink arrival to the collector and auditor.
-func (e *Engine) recordSink(ev *tuple.Event) {
-	e.collector.SinkReceive(ev)
-	e.audit.RecordSink(ev, e.clock.Now())
 }
 
 // --- checkpoint transport --------------------------------------------------

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/statestore"
 	"repro/internal/timex"
@@ -27,6 +28,11 @@ type Executor struct {
 	in    *queue.Queue
 	logic workload.Logic
 	store *statestore.Client
+
+	// rep is this executor's private metrics recording handle (sink
+	// instances only): sink arrivals are the per-event hot path, and a
+	// shared collector mutex would re-serialize every sink goroutine.
+	rep *metrics.Reporter
 
 	killed atomic.Bool
 
@@ -141,6 +147,9 @@ func newExecutor(eng *Engine, inst topology.Instance, initialized bool) *Executo
 	if !task.Stateful {
 		ex.initialized = true
 	}
+	if task.Role == topology.RoleSink {
+		ex.rep = eng.collector.Reporter()
+	}
 	ex.pauseWake = sync.NewCond(&ex.pauseMu)
 	return ex
 }
@@ -148,6 +157,20 @@ func newExecutor(eng *Engine, inst topology.Instance, initialized bool) *Executo
 // run is the executor main loop.
 func (ex *Executor) run() {
 	defer ex.eng.wg.Done()
+	// On exit (kill or stop), events still stashed in the platform
+	// buffers are dead: preInit never saw its INIT, and captured pending
+	// events live on only as the savedEvent copies persisted by COMMIT.
+	// Releasing here is race-free — the buffers belong to this goroutine.
+	defer func() {
+		for _, ev := range ex.preInit {
+			ev.Release()
+		}
+		ex.preInit = nil
+		for _, ev := range ex.pending {
+			ev.Release()
+		}
+		ex.pending = nil
+	}()
 	for {
 		ev, ok := ex.in.Pop()
 		if !ok {
@@ -163,6 +186,7 @@ func (ex *Executor) run() {
 			if ev.IsData() && !ex.eng.stopping.Load() {
 				ex.eng.lostKill.Add(1)
 			}
+			ev.Release()
 			continue
 		}
 		if ev.Kind.IsCheckpoint() {
@@ -199,10 +223,12 @@ func (ex *Executor) waitWhilePaused() {
 
 func (ex *Executor) handleData(ev *tuple.Event) {
 	if ex.task.Role == topology.RoleSink {
-		ex.eng.recordSink(ev)
+		ex.rep.SinkReceive(ev)
+		ex.eng.audit.RecordSink(ev, ex.eng.clock.Now())
 		if ex.eng.cfg.AckDataEvents() {
 			ex.eng.ack.Ack(ev.Root, ev.ID)
 		}
+		ev.Release()
 		return
 	}
 	if !ex.initialized {
@@ -217,7 +243,9 @@ func (ex *Executor) handleData(ev *tuple.Event) {
 }
 
 // process charges the task latency, runs the user logic (emitting
-// downstream), and acknowledges the input.
+// downstream), acknowledges the input, and releases the event — the
+// executor is its final owner (the children routed downstream are fresh
+// pooled events of their own).
 func (ex *Executor) process(ev *tuple.Event) {
 	now := ex.eng.clock.Now()
 	if ex.busyUntil.Before(now) {
@@ -231,6 +259,7 @@ func (ex *Executor) process(ev *tuple.Event) {
 	if ex.eng.cfg.AckDataEvents() {
 		ex.eng.ack.Ack(ev.Root, ev.ID)
 	}
+	ev.Release()
 }
 
 func (ex *Executor) handleCheckpoint(ev *tuple.Event) {
@@ -456,6 +485,7 @@ func (ex *Executor) Kill() (droppedData int) {
 		if ev.IsData() {
 			droppedData++
 		}
+		ev.Release() // discarded with the queue: the kill is the final owner
 	}
 	return droppedData
 }

@@ -23,6 +23,11 @@ type deliverFn func(to topology.Instance, ev *tuple.Event) bool
 // during rebalance).
 type slotFn func(instanceKey string) cluster.SlotRef
 
+// slotInstFn resolves a destination instance's current slot without
+// going through its string key — Instance.String() on every send was a
+// measurable allocation on the hot path.
+type slotInstFn func(inst topology.Instance) cluster.SlotRef
+
 // fabric moves events between instances, delaying each delivery by the
 // network latency of the endpoints' current placement while preserving
 // per-(sender,receiver) FIFO order — the property the sequential
@@ -42,10 +47,11 @@ type slotFn func(instanceKey string) cluster.SlotRef
 // per-link goroutine sleeping out its deadline first), and (c) equal
 // deadlines pop in enqueue-seq order.
 type fabric struct {
-	clock   timex.Clock
-	net     cluster.NetworkModel
-	slotOf  slotFn
-	deliver deliverFn
+	clock      timex.Clock
+	net        cluster.NetworkModel
+	slotOf     slotFn
+	slotOfInst slotInstFn
+	deliver    deliverFn
 
 	shards []*fabShard
 	seed   maphash.Seed
@@ -63,12 +69,17 @@ type linkKey struct {
 }
 
 // delivery is one scheduled hand-off, ordered by (deliverAt, seq).
+// Deliveries are pooled: Send draws one, the shard goroutine returns it
+// after the hand-off, so the steady-state send path does not allocate.
 type delivery struct {
 	ev        *tuple.Event
 	to        topology.Instance
+	key       linkKey
 	deliverAt time.Time
 	seq       uint64
 }
+
+var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
 
 // shardBuffer is the per-shard in-flight capacity; senders block when a
 // shard is saturated (network backpressure, previously per-link).
@@ -76,31 +87,42 @@ const shardBuffer = 1 << 16
 
 // fabShard is one scheduler shard: a single goroutine draining a min-heap
 // of pending deliveries in deadline order.
+//
+// Senders do not touch the heap: they stage deliveries on the intake
+// slice (O(1) under the lock) and wake the consumer only when it is
+// actually parked, so a burst of sends costs one wakeup and one batched
+// heap-drain instead of one signal and one O(log n) push per event.
 type fabShard struct {
 	mu       sync.Mutex
-	notEmpty *sync.Cond // consumer waits for work
-	notFull  *sync.Cond // senders wait out backpressure
+	notEmpty *sync.Cond  // consumer waits for work
+	notFull  *sync.Cond  // senders wait out backpressure
+	intake   []*delivery // staged sends, drained wholesale by the consumer
 	h        deliveryHeap
 	seq      uint64                // monotone enqueue counter (tie-break)
-	lastAt   map[linkKey]time.Time // per-link FIFO clamp
+	lastAt   map[linkKey]time.Time // per-link FIFO clamp, applied at drain
 	sleepTo  time.Time             // deadline the consumer sleeps toward (zero: not sleeping)
+	waiting  bool                  // consumer is parked on notEmpty
 	wake     chan struct{}         // interrupts the consumer's sleep
 	closed   bool
 }
 
 // newFabric builds a fabric with the given shard count (0 means
 // GOMAXPROCS) and starts the shard goroutines; Close joins them.
-func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, deliver deliverFn, shards int) *fabric {
+func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, slotOfInst slotInstFn, deliver deliverFn, shards int) *fabric {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	if slotOfInst == nil {
+		slotOfInst = func(inst topology.Instance) cluster.SlotRef { return slotOf(inst.String()) }
+	}
 	f := &fabric{
-		clock:   clock,
-		net:     net,
-		slotOf:  slotOf,
-		deliver: deliver,
-		shards:  make([]*fabShard, shards),
-		seed:    maphash.MakeSeed(),
+		clock:      clock,
+		net:        net,
+		slotOf:     slotOf,
+		slotOfInst: slotOfInst,
+		deliver:    deliver,
+		shards:     make([]*fabShard, shards),
+		seed:       maphash.MakeSeed(),
 	}
 	for i := range f.shards {
 		sh := &fabShard{
@@ -134,31 +156,38 @@ func (f *fabric) shardOf(key linkKey) *fabShard {
 // the one-way latency between their current slots. Sending concurrently
 // with Close is safe: the event is dropped and counted.
 func (f *fabric) Send(fromKey string, to topology.Instance, ev *tuple.Event) {
-	lat := f.net.Latency(f.slotOf(fromKey), f.slotOf(to.String()))
+	lat := f.net.Latency(f.slotOf(fromKey), f.slotOfInst(to))
 	deliverAt := f.clock.Now().Add(lat)
 	key := linkKey{from: fromKey, to: to}
 	sh := f.shardOf(key)
 
+	d := deliveryPool.Get().(*delivery)
+	d.ev, d.to, d.key, d.deliverAt = ev, to, key, deliverAt
+
 	sh.mu.Lock()
-	for len(sh.h) >= shardBuffer && !sh.closed {
+	for len(sh.h)+len(sh.intake) >= shardBuffer && !sh.closed {
 		sh.notFull.Wait()
 	}
 	if sh.closed {
 		sh.mu.Unlock()
 		f.dropped.Add(1)
+		*d = delivery{}
+		deliveryPool.Put(d)
+		ev.Release() // dropped before hand-off: this was the last owner
 		return
 	}
-	// FIFO clamp: never schedule behind an earlier send on the same link.
-	if last := sh.lastAt[key]; deliverAt.Before(last) {
-		deliverAt = last
-	}
-	sh.lastAt[key] = deliverAt
 	sh.seq++
-	heap.Push(&sh.h, &delivery{ev: ev, to: to, deliverAt: deliverAt, seq: sh.seq})
-	// Wake the consumer: it is either waiting for work or sleeping toward
-	// a deadline this delivery may now precede.
-	sh.notEmpty.Signal()
-	if !sh.sleepTo.IsZero() && deliverAt.Before(sh.sleepTo) {
+	d.seq = sh.seq
+	sh.intake = append(sh.intake, d)
+	// Wake the consumer only when needed: if it is parked on notEmpty, or
+	// sleeping toward a deadline this delivery may now precede. A busy
+	// consumer picks the staged batch up on its next loop — a burst of
+	// sends costs one wakeup, not one per event. The staged deliverAt is
+	// pre-clamp, which can only be earlier than the final deadline, so
+	// the sleep interrupt errs on the safe (spurious wake) side.
+	if sh.waiting {
+		sh.notEmpty.Signal()
+	} else if !sh.sleepTo.IsZero() && deliverAt.Before(sh.sleepTo) {
 		select {
 		case sh.wake <- struct{}{}:
 		default:
@@ -177,8 +206,24 @@ func (f *fabric) runShard(sh *fabShard) {
 	defer f.wg.Done()
 	for {
 		sh.mu.Lock()
-		for len(sh.h) == 0 && !sh.closed {
+		for len(sh.intake) == 0 && len(sh.h) == 0 && !sh.closed {
+			sh.waiting = true
 			sh.notEmpty.Wait()
+			sh.waiting = false
+		}
+		// Drain the staged batch into the heap, applying the per-link
+		// FIFO clamp in enqueue order (the intake preserves send order,
+		// so the clamp result is identical to clamping inside Send).
+		if len(sh.intake) > 0 {
+			for i, d := range sh.intake {
+				if last := sh.lastAt[d.key]; d.deliverAt.Before(last) {
+					d.deliverAt = last
+				}
+				sh.lastAt[d.key] = d.deliverAt
+				heap.Push(&sh.h, d)
+				sh.intake[i] = nil
+			}
+			sh.intake = sh.intake[:0]
 		}
 		if len(sh.h) == 0 {
 			sh.mu.Unlock()
@@ -201,7 +246,10 @@ func (f *fabric) runShard(sh *fabShard) {
 		sh.mu.Unlock()
 		if !f.deliver(d.to, d.ev) {
 			f.dropped.Add(1)
+			d.ev.Release() // lost at delivery: nobody downstream owns it
 		}
+		*d = delivery{}
+		deliveryPool.Put(d)
 	}
 }
 

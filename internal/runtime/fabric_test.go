@@ -61,7 +61,7 @@ func testFabric(col *collectingDeliver) (*fabric, *timex.ScaledClock) {
 		IntraVM:  time.Millisecond,
 		InterVM:  5 * time.Millisecond,
 	}
-	return newFabric(clock, net, slots, col.deliver, 0), clock
+	return newFabric(clock, net, slots, nil, col.deliver, 0), clock
 }
 
 func TestFabricDeliversInFIFOOrder(t *testing.T) {
@@ -186,7 +186,7 @@ func TestFabricFIFOStress(t *testing.T) {
 		return cluster.SlotRef{VM: "vm-0", Slot: 0}
 	}
 	net := cluster.NetworkModel{SameSlot: 0, IntraVM: time.Millisecond, InterVM: 5 * time.Millisecond}
-	f := newFabric(clock, net, slots, col.deliver, 4)
+	f := newFabric(clock, net, slots, nil, col.deliver, 4)
 	defer f.Close()
 
 	const senders = 8
@@ -288,7 +288,7 @@ func TestFabricGoroutineCountIsOShards(t *testing.T) {
 	net := cluster.NetworkModel{SameSlot: 0, IntraVM: 0, InterVM: 0}
 	before := runtime.NumGoroutine()
 	const shards = 8
-	f := newFabric(clock, net, slots, col.deliver, shards)
+	f := newFabric(clock, net, slots, nil, col.deliver, shards)
 	const links = 4096 // 64 senders x 64 destinations
 	for s := 0; s < 64; s++ {
 		from := fmt.Sprintf("s%d[0]", s)
@@ -313,23 +313,33 @@ func BenchmarkFabricThroughput(b *testing.B) {
 	clock := timex.NewScaled(1)
 	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
 	net := cluster.NetworkModel{}
-	f := newFabric(clock, net, slots, func(to topology.Instance, ev *tuple.Event) bool {
+	f := newFabric(clock, net, slots, nil, func(to topology.Instance, ev *tuple.Event) bool {
 		delivered.Add(1)
 		return true
 	}, 0)
 	defer f.Close()
 	ev := &tuple.Event{ID: 1, Kind: tuple.Data}
+	froms := benchSenderKeys(16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			from := fmt.Sprintf("s%d[0]", i%16)
-			f.Send(from, topology.Instance{Task: "T", Index: i % 64}, ev)
+			f.Send(froms[i%16], topology.Instance{Task: "T", Index: i % 64}, ev)
 			i++
 		}
 	})
 	b.StopTimer()
+}
+
+// benchSenderKeys precomputes sender keys so the send benchmarks measure
+// the fabric, not fmt.Sprintf.
+func benchSenderKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d[0]", i)
+	}
+	return out
 }
 
 // BenchmarkFabricThroughputLatency measures throughput with the realistic
@@ -339,19 +349,19 @@ func BenchmarkFabricThroughputLatency(b *testing.B) {
 	clock := timex.NewScaled(1)
 	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
 	net := cluster.NetworkModel{SameSlot: 0, IntraVM: 100 * time.Microsecond, InterVM: 300 * time.Microsecond}
-	f := newFabric(clock, net, slots, func(to topology.Instance, ev *tuple.Event) bool {
+	f := newFabric(clock, net, slots, nil, func(to topology.Instance, ev *tuple.Event) bool {
 		delivered.Add(1)
 		return true
 	}, 0)
 	defer f.Close()
 	ev := &tuple.Event{ID: 1, Kind: tuple.Data}
+	froms := benchSenderKeys(16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			from := fmt.Sprintf("s%d[0]", i%16)
-			f.Send(from, topology.Instance{Task: "T", Index: i % 64}, ev)
+			f.Send(froms[i%16], topology.Instance{Task: "T", Index: i % 64}, ev)
 			i++
 		}
 	})

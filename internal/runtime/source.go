@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/acker"
+	"repro/internal/metrics"
 	"repro/internal/timex"
 	"repro/internal/topology"
 	"repro/internal/tuple"
@@ -23,6 +24,7 @@ import (
 type Source struct {
 	eng  *Engine
 	inst topology.Instance
+	rep  *metrics.Reporter // private recording handle for the emit path
 
 	mu      sync.Mutex
 	wake    *sync.Cond
@@ -47,7 +49,7 @@ type replayItem struct {
 }
 
 func newSource(eng *Engine, inst topology.Instance) *Source {
-	s := &Source{eng: eng, inst: inst, cache: make(map[tuple.ID]*tuple.Event)}
+	s := &Source{eng: eng, inst: inst, rep: eng.collector.Reporter(), cache: make(map[tuple.ID]*tuple.Event)}
 	s.wake = sync.NewCond(&s.mu)
 	return s
 }
@@ -174,7 +176,7 @@ func (s *Source) emitRoot(p workload.Payload, replayed bool, rootEmit time.Time,
 		s.cacheMu.Unlock()
 		s.eng.ack.Register(id, s.onOutcome)
 	}
-	s.eng.collector.SourceEmit(replayed)
+	s.rep.SourceEmit(replayed)
 	s.eng.audit.RecordEmit(p.Seq, s.eng.clock.Now())
 	s.eng.routeFromSource(s.inst, ev)
 	if s.eng.cfg.AckDataEvents() {
@@ -246,11 +248,7 @@ func (s *Source) stop() {
 	s.mu.Unlock()
 }
 
-// hash64 is the splitmix64 finalizer used for key hashing in fields
-// grouping and payload key assignment.
-func hash64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// hash64 is the key hash for fields grouping and payload key assignment
+// — tuple's splitmix64 finalizer, the one mixing function shared by ID
+// generation and acker shard routing.
+func hash64(x uint64) uint64 { return tuple.Mix64(x) }

@@ -4,15 +4,31 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
-// Encode serializes v with encoding/gob for storage.
+// encBufs recycles the scratch buffers gob encoding streams into. Every
+// checkpoint capture encodes two blobs (user state, then the enclosing
+// checkpointBlob); with a fresh bytes.Buffer each time, the repeated
+// internal grows dominated the encode allocations. The encoder itself
+// cannot be pooled: a gob stream emits type descriptors once per stream,
+// so reusing an encoder across independent blobs would produce data an
+// independent decoder cannot read.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Encode serializes v with encoding/gob for storage. The returned slice
+// is freshly allocated at its exact size and owned by the caller.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufs.Put(buf)
 		return nil, fmt.Errorf("statestore: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encBufs.Put(buf)
+	return out, nil
 }
 
 // Decode deserializes data produced by Encode into v (a pointer).
