@@ -7,6 +7,10 @@
 // elasticity controller (internal/autoscale) under a ramping workload
 // and reports every scaling decision the chosen policy made.
 //
+// Runs ride on the Job control plane, so an interrupt (SIGINT/Ctrl-C)
+// does not kill the dataflow mid-flight: an in-flight migration unwinds,
+// the dataflow drains gracefully, and the partial metrics are printed.
+//
 // Usage:
 //
 //	stormlet -dag grid -strategy CCR -direction in
@@ -15,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/autoscale"
@@ -33,13 +39,25 @@ import (
 var errUsage = errors.New("invalid arguments (see usage above)")
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// First SIGINT: cancel the context → graceful drain. Unregistering
+	// the handler right after cancellation restores the default SIGINT
+	// disposition, so a second Ctrl-C kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := runContext(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "stormlet:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run keeps the uncancellable entry point for tests.
+func run(args []string) error { return runContext(context.Background(), args) }
+
+func runContext(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stormlet", flag.ContinueOnError)
 	dag := fs.String("dag", "grid", "dataflow: linear, diamond, star, grid, traffic")
 	strategy := fs.String("strategy", "CCR", "migration strategy: DSM, DCR, CCR, CCR-seqinit")
@@ -69,7 +87,7 @@ func run(args []string) error {
 		return err
 	}
 	if *doAutoscale {
-		return runAutoscale(spec, strat, *policy, *scale, *seed)
+		return runAutoscale(ctx, spec, strat, *policy, *scale, *seed)
 	}
 	dir := experiments.ScaleIn
 	if *direction == "out" {
@@ -78,7 +96,7 @@ func run(args []string) error {
 
 	fmt.Printf("Running %s / %s / %s (scale %.3f)...\n", *dag, strat.Name(), dir, *scale)
 	start := time.Now()
-	r, err := experiments.Run(experiments.Scenario{
+	r, err := experiments.RunContext(ctx, experiments.Scenario{
 		Spec:      spec,
 		Strategy:  strat,
 		Direction: dir,
@@ -94,6 +112,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
 
+	if r.Canceled {
+		fmt.Println("INTERRUPTED: dataflow drained gracefully; partial metrics follow.")
+	}
 	if r.MigrationErr != nil {
 		fmt.Printf("MIGRATION FAILED: %v\n", r.MigrationErr)
 	}
@@ -163,7 +184,7 @@ func run(args []string) error {
 // runAutoscale drives the closed elasticity loop on the chosen dataflow
 // under experiments.DefaultRamp and reports every decision and the final
 // accounting.
-func runAutoscale(spec dataflows.Spec, strat core.Strategy, policyName string, scale float64, seed int64) error {
+func runAutoscale(ctx context.Context, spec dataflows.Spec, strat core.Strategy, policyName string, scale float64, seed int64) error {
 	pol, err := autoscale.ByName(policyName)
 	if err != nil {
 		return err
@@ -171,7 +192,7 @@ func runAutoscale(spec dataflows.Spec, strat core.Strategy, policyName string, s
 	fmt.Printf("Autoscaling %s with policy %s, enacting via %s (scale %.3f)...\n",
 		spec.Topology.Name(), pol.Name(), strat.Name(), scale)
 	start := time.Now()
-	r, err := experiments.RunAutoscale(experiments.AutoscaleScenario{
+	r, err := experiments.RunAutoscaleContext(ctx, experiments.AutoscaleScenario{
 		Spec:      spec,
 		Strategy:  strat,
 		Policy:    pol,

@@ -1,22 +1,24 @@
 // Autoscale: the paper's conclusion made concrete. Its migration
 // strategies exist to enable "diverse elastic scheduling scenarios";
-// this example hands a live Diamond dataflow to the closed-loop
-// controller in internal/autoscale and lets a ramping workload drive it:
-// the utilization-band policy spreads the deployment onto one-core VMs
-// when the stream runs hot, consolidates onto four-core VMs when it
-// thins, and every reallocation is enacted live with CCR — zero events
-// lost, state intact, hysteresis preventing thrash.
+// this example submits a Diamond dataflow to the Job control plane and
+// hands it to the closed-loop controller in internal/autoscale under a
+// ramping workload: the utilization-band policy spreads the deployment
+// onto one-core VMs when the stream runs hot, consolidates onto
+// four-core VMs when it thins, and every reallocation is enacted live
+// with CCR *through the job's serialized control* — zero events lost,
+// state intact, hysteresis preventing thrash, and no way for the loop to
+// interleave with an operator-initiated migration.
 //
 //	go run ./examples/autoscale
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
 	"repro"
-	"repro/internal/topology"
 )
 
 func main() {
@@ -28,39 +30,26 @@ func main() {
 
 func run(scale float64) error {
 	// Deploy Diamond consolidated: 8 instances packed on 2 x D3 VMs, the
-	// off-peak shape of Table 1. Source, sink and the checkpoint
-	// coordinator sit on a pinned VM, never migrated.
+	// off-peak shape of Table 1, behind one Submit call.
 	spec := repro.Diamond()
-	clock := repro.NewScaledClock(scale)
-	clus := repro.NewCluster()
-	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
-
 	fleet := repro.Fleet{Type: repro.D3, VMs: spec.ScaleInVMs}
-	clus.Provision(fleet.Type, fleet.VMs, clock.Now())
-	inner := spec.Topology.Instances(topology.RoleInner)
-	sched, err := (repro.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	j, err := repro.Submit(context.Background(), spec,
+		repro.WithMode(repro.ModeCCR),
+		repro.WithTimeScale(scale),
+		repro.WithInitialFleet(fleet.Type, fleet.VMs),
+	)
 	if err != nil {
 		return err
 	}
-	eng, err := repro.NewEngine(repro.Params{
-		Topology:      spec.Topology,
-		Factory:       repro.CountFactory,
-		Clock:         clock,
-		Config:        repro.DefaultConfig(repro.ModeCCR),
-		InnerSchedule: sched,
-		Pinned: map[repro.Instance]repro.SlotRef{
-			{Task: "Src", Index: 0}:  pinned.Slots()[0],
-			{Task: "Sink", Index: 0}: pinned.Slots()[1],
-		},
-		CoordinatorSlot: pinned.Slots()[2],
-	})
-	if err != nil {
+	defer j.Stop()
+	if err := j.Start(); err != nil {
 		return err
 	}
-	eng.Start()
-	defer eng.Stop()
+	eng, clus, clock := j.Engine(), j.Cluster(), j.Clock()
 
 	// The whole controller: a policy, an allocator, an enactor, a loop.
+	// Control routes enactments through the job handle, so they serialize
+	// with any other live operation on the dataflow.
 	loop := &repro.AutoscaleLoop{
 		Engine:    eng,
 		Policy:    repro.UtilizationBand{Low: 0.5, High: 0.9},
@@ -70,6 +59,7 @@ func run(scale float64) error {
 			Cluster:   clus,
 			Strategy:  repro.CCR{},
 			Scheduler: repro.RoundRobin{},
+			Control:   repro.JobControl(j),
 		},
 		Fleet:      fleet,
 		Window:     10 * time.Second,
@@ -88,7 +78,7 @@ func run(scale float64) error {
 	// Rush hour: the stream climbs to 9.8 ev/s — utilization 0.98 breaks
 	// the band and the loop spreads the deployment live.
 	fmt.Println("\nramping to 9.8 ev/s...")
-	eng.SetSourceRate(9.8)
+	j.SetSourceRate(9.8)
 	if err := waitForFleet(loop, clock, repro.D1, 3*time.Minute); err != nil {
 		return err
 	}
@@ -98,7 +88,7 @@ func run(scale float64) error {
 	// loop consolidates back.
 	clock.Sleep(60 * time.Second)
 	fmt.Println("\nthinning to 4 ev/s...")
-	eng.SetSourceRate(4)
+	j.SetSourceRate(4)
 	if err := waitForFleet(loop, clock, repro.D3, 4*time.Minute); err != nil {
 		return err
 	}
@@ -111,6 +101,10 @@ func run(scale float64) error {
 		loop.Enactor.Migrations(), len(lost), eng.Audit().Duplicates(eng.Fanout()))
 	if len(lost) != 0 {
 		return fmt.Errorf("autoscaling lost events")
+	}
+	if st := j.Status(); st.Migrations != int64(loop.Enactor.Migrations()) {
+		return fmt.Errorf("job counted %d migrations, enactor %d — control was bypassed",
+			st.Migrations, loop.Enactor.Migrations())
 	}
 	fmt.Println("ok: the closed loop rescaled the deployment twice with zero loss")
 	return nil

@@ -1,18 +1,18 @@
-// Quickstart: build a small streaming dataflow, deploy it on modeled
-// Cloud VMs, run it in compressed paper time, and migrate it live with
-// CCR — no message lost, state intact, and the restore measured.
+// Quickstart: build a small streaming dataflow, submit it to the Job
+// control plane, watch its live event stream, and migrate it between VM
+// fleets with CCR while it serves traffic — no message lost, state
+// intact, and the restore measured.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
 	"repro"
-	"repro/internal/metrics"
-	"repro/internal/topology"
 )
 
 func main() {
@@ -39,65 +39,60 @@ func run(scale float64) error {
 		return err
 	}
 
-	// 2. Deploy: two 2-core VMs for the tasks; source/sink/coordinator on
-	// a pinned 4-core VM — the paper's setup in miniature. Run 50× faster
-	// than real time.
-	clock := repro.NewScaledClock(scale)
-	clus := repro.NewCluster()
-	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
-	clus.Provision(repro.D2, 2, clock.Now())
-
-	inner := topo.Instances(topology.RoleInner)
-	oldSched, err := (repro.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	// 2. Submit: one call deploys the cluster (pinned boundary VM +
+	// DefaultVMs × D2 for the tasks), places the instances, and hands
+	// back a live Job handle. Run 50× faster than real time.
+	ctx := context.Background()
+	j, err := repro.Submit(ctx, repro.SpecOf(topo),
+		repro.WithMode(repro.ModeCCR),
+		repro.WithTimeScale(scale),
+	)
 	if err != nil {
 		return err
 	}
+	defer j.Stop()
 
-	cfg := repro.DefaultConfig(repro.ModeCCR)
-	eng, err := repro.NewEngine(repro.Params{
-		Topology:      topo,
-		Factory:       repro.CountFactory,
-		Clock:         clock,
-		Config:        cfg,
-		InnerSchedule: oldSched,
-		Pinned: map[repro.Instance]repro.SlotRef{
-			{Task: "Src", Index: 0}:  pinned.Slots()[0],
-			{Task: "Sink", Index: 0}: pinned.Slots()[1],
-		},
-		CoordinatorSlot: pinned.Slots()[2],
-	})
-	if err != nil {
+	// 3. Watch the control plane narrate migrations as they happen.
+	events := j.Events()
+	go func() {
+		for ev := range events {
+			switch ev.Kind {
+			case repro.EventMigrationBegun, repro.EventMigrationPhase, repro.EventMigrationDone:
+				fmt.Printf("  event: %s\n", ev)
+			}
+		}
+	}()
+
+	if err := j.Start(); err != nil {
 		return err
 	}
-	eng.Start()
-	defer eng.Stop()
 
-	// 3. Let it reach steady state (paper time).
+	// 4. Let it reach steady state (paper time).
 	fmt.Println("running at steady state for 45 s of paper time...")
+	clock := j.Clock()
 	clock.Sleep(45 * time.Second)
+	eng := j.Engine()
 	fmt.Printf("  events delivered so far: %d (no losses: %v)\n",
 		eng.Audit().SinkArrivals(),
 		len(eng.Audit().Lost(clock.Now().Add(-10*time.Second))) == 0)
 
-	// 4. Scale in: consolidate onto one 4-core VM, migrating live with CCR.
-	target := clus.Provision(repro.D3, 1, clock.Now())
-	newSched, err := (repro.RoundRobin{}).Place(inner, target[0].Slots())
-	if err != nil {
-		return err
-	}
-	fmt.Println("migrating with CCR onto a single D3 VM...")
-	if err := (repro.CCR{}).Migrate(eng, newSched); err != nil {
+	// 5. Scale in, live: one call provisions the D3 consolidation target,
+	// migrates with CCR, and retires the old fleet.
+	fmt.Println("scaling in with CCR onto a consolidated D3 fleet...")
+	if err := j.Scale(ctx, repro.ScaleIn); err != nil {
 		return err
 	}
 
-	// 5. Keep running, then report.
+	// 6. Keep running, then report from the same handle.
 	clock.Sleep(120 * time.Second)
-	m := eng.Collector().Compute(metrics.DefaultStabilization(eng.ExpectedSinkRate()), 0)
+	m := j.Metrics()
 	fmt.Println("\nmigration metrics (paper time):")
 	fmt.Printf("  restore duration:  %v\n", m.RestoreDuration.Round(time.Millisecond))
 	fmt.Printf("  capture duration:  %v\n", m.DrainDuration.Round(time.Millisecond))
 	fmt.Printf("  rebalance command: %v\n", m.RebalanceDuration.Round(time.Millisecond))
 	fmt.Printf("  replayed events:   %d (CCR loses nothing, replays nothing)\n", m.ReplayedCount)
+	st := j.Status()
+	fmt.Printf("  fleet: %d VMs, billing %.4f/min, %d migrations\n", st.VMs, st.BillingRate, st.Migrations)
 	lost := eng.Audit().Lost(clock.Now().Add(-30 * time.Second))
 	fmt.Printf("  lost payloads:     %d\n", len(lost))
 	if len(lost) != 0 || m.ReplayedCount != 0 {

@@ -1,15 +1,18 @@
 // Statefulcount: demonstrates exact state preservation across a live
-// migration. A Star dataflow counts events per task instance; the example
-// snapshots every live counter immediately before a DCR migration and
-// verifies the restored executors carry exactly the same counts on the
-// new VMs — the paper's reliability guarantee at state granularity, and
-// the property DSM cannot give (it rolls back to the last periodic
-// checkpoint).
+// migration, driven entirely through the Job control plane. A Star
+// dataflow counts events per task instance; the example drains the job
+// (the handle's quiesce primitive — sources paused, every in-flight
+// event processed), snapshots every live counter, resumes, and then
+// scales in live with DCR. The restored executors must carry at least
+// the snapshotted counts on the new VMs — the paper's reliability
+// guarantee at state granularity, and the property DSM cannot give (it
+// rolls back to the last periodic checkpoint).
 //
 //	go run ./examples/statefulcount
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -27,70 +30,54 @@ func main() {
 }
 
 func run(scale float64) error {
+	ctx := context.Background()
 	spec := repro.Star()
-	clock := repro.NewScaledClock(scale)
-	clus := repro.NewCluster()
-	pinned := clus.ProvisionPinned(repro.D3, clock.Now())
-	clus.Provision(repro.D2, spec.DefaultVMs, clock.Now())
-
-	inner := spec.Topology.Instances(topology.RoleInner)
-	oldSched, err := (repro.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	j, err := repro.Submit(ctx, spec,
+		repro.WithMode(repro.ModeDCR),
+		repro.WithTimeScale(scale),
+	)
 	if err != nil {
 		return err
 	}
-	eng, err := repro.NewEngine(repro.Params{
-		Topology:      spec.Topology,
-		Factory:       repro.CountFactory,
-		Clock:         clock,
-		Config:        repro.DefaultConfig(repro.ModeDCR),
-		InnerSchedule: oldSched,
-		Pinned: map[repro.Instance]repro.SlotRef{
-			{Task: "Src", Index: 0}:  pinned.Slots()[0],
-			{Task: "Sink", Index: 0}: pinned.Slots()[1],
-		},
-		CoordinatorSlot: pinned.Slots()[2],
-	})
-	if err != nil {
+	defer j.Stop()
+	if err := j.Start(); err != nil {
 		return err
 	}
-	eng.Start()
-	defer eng.Stop()
-
+	clock := j.Clock()
 	clock.Sleep(45 * time.Second)
 
-	// Freeze the dataflow the way DCR does, then snapshot live counters.
-	eng.PauseSources()
-	clock.Sleep(3 * time.Second) // drain in-flight
-	before := counters(eng, inner)
-	eng.UnpauseSources()
-
-	// Migrate onto D3 VMs with DCR (which re-pauses and drains itself).
-	target := clus.Provision(repro.D3, spec.ScaleInVMs, clock.Now())
-	var slots []repro.SlotRef
-	for _, vm := range target {
-		slots = append(slots, vm.Slots()...)
-	}
-	newSched, err := (repro.RoundRobin{}).Place(inner, slots)
-	if err != nil {
+	// Freeze the dataflow with the handle's own quiesce primitive: Drain
+	// pauses the sources and waits until every in-flight event has been
+	// processed, so the counters are exact — no manual pause/sleep dance.
+	if err := j.Drain(ctx); err != nil {
 		return err
 	}
-	if err := (repro.DCR{}).Migrate(eng, newSched); err != nil {
+	inner := spec.Topology.Instances(topology.RoleInner)
+	before := counters(j, inner)
+	if err := j.Resume(); err != nil {
 		return err
 	}
-	after := counters(eng, inner)
 
-	fmt.Println("per-instance processed counters (before kill -> after restore):")
+	// Scale in live with DCR (which re-pauses and drains itself): one
+	// call provisions the D3 fleet, migrates, and retires the old VMs.
+	if err := j.ScaleWith(ctx, repro.ScaleIn, repro.DCR{}); err != nil {
+		return err
+	}
+	after := counters(j, inner)
+
+	fmt.Println("per-instance processed counters (drained snapshot -> after restore):")
 	allExact := true
 	for _, inst := range inner {
 		b, a := before[inst], after[inst]
 		status := "exact"
-		// DCR pauses sources during enactment, so the restored counter can
-		// only differ by events that were in flight at our pre-snapshot.
+		// The drained snapshot is a floor: between Resume and the DCR
+		// drain the counters only grow; the restore must never regress
+		// them.
 		if a < b {
 			status = "LOST STATE"
 			allExact = false
 		} else if a > b {
-			status = fmt.Sprintf("+%d (drained in-flight)", a-b)
+			status = fmt.Sprintf("+%d (processed since resume)", a-b)
 		}
 		fmt.Printf("  %-6s  %6d -> %6d   %s\n", inst, b, a, status)
 	}
@@ -102,10 +89,10 @@ func run(scale float64) error {
 }
 
 // counters reads the live processed count of every inner instance.
-func counters(eng *repro.Engine, inner []repro.Instance) map[repro.Instance]int64 {
+func counters(j *repro.Job, inner []repro.Instance) map[repro.Instance]int64 {
 	out := make(map[repro.Instance]int64, len(inner))
 	for _, inst := range inner {
-		if ex := eng.Executor(inst); ex != nil {
+		if ex := j.Engine().Executor(inst); ex != nil {
 			if cl, ok := ex.Logic().(*workload.CountLogic); ok {
 				out[inst] = cl.Processed()
 			}

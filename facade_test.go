@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFacadeCoversJobPackage asserts that every exported symbol of the
+// Job control plane (internal/job) is re-exported from this facade —
+// either under its own name or with a "Job" prefix (job.Event →
+// repro.JobEvent). The control plane is the primary public API; a symbol
+// missing here is unreachable to applications.
+func TestFacadeCoversJobPackage(t *testing.T) {
+	exported := exportedSymbols(t, "internal/job")
+	if len(exported) < 20 {
+		t.Fatalf("only %d exported symbols found in internal/job — parse problem?", len(exported))
+	}
+	facade, err := os.ReadFile("repro.go")
+	if err != nil {
+		t.Fatalf("read repro.go: %v", err)
+	}
+	for _, name := range exported {
+		direct := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
+		prefixed := regexp.MustCompile(`\bJob` + regexp.QuoteMeta(name) + `\b`)
+		if !direct.Match(facade) && !prefixed.Match(facade) {
+			t.Errorf("internal/job.%s is not re-exported from the repro facade (as %s or Job%s)",
+				name, name, name)
+		}
+	}
+}
+
+// exportedSymbols parses a package directory (non-test files) and
+// returns its exported top-level identifiers: funcs, types, consts and
+// vars.
+func exportedSymbols(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var names []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if ast.IsExported(name) && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil { // methods ride on their type
+					add(d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add(s.Name.Name)
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							add(n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}

@@ -1,6 +1,7 @@
 package autoscale
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,10 +10,44 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
 	"repro/internal/topology"
 )
+
+// MigrateFunc enacts a migration through an external control plane (the
+// Job handle) instead of poking the engine directly. Implementations must
+// serialize concurrent enactments; a rejected enactment (e.g. the
+// control plane is busy with an operator-initiated migration) surfaces as
+// a failed Enactment and the loop's hysteresis retries later.
+type MigrateFunc func(ctx context.Context, strat core.Strategy, sched *scheduler.Schedule) error
+
+// ErrRejected marks an enactment the control plane refused before any
+// migration step ran (e.g. it was busy with an operator-initiated
+// operation). Control implementations should wrap such refusals in it:
+// the Enactor then releases the fleet it provisioned for the aborted
+// move — the dataflow is untouched — and hysteresis retries later.
+var ErrRejected = errors.New("autoscale: enactment rejected by control plane")
+
+// JobControl adapts a Job handle to the Enactor's Control hook: every
+// autoscale enactment goes through the job's serialized control plane,
+// and a busy rejection (the job is mid-way through another operation)
+// maps to ErrRejected so the Enactor rolls back its provisioning and the
+// loop retries after the cooldown.
+func JobControl(j *job.Job) MigrateFunc {
+	return func(ctx context.Context, strat core.Strategy, sched *scheduler.Schedule) error {
+		err := j.Migrate(ctx, strat, sched)
+		// Every one of these is refused before any migration step runs,
+		// so the Enactor must roll its provisioning back rather than
+		// keep both fleets for "the operator to decide".
+		if errors.Is(err, job.ErrBusy) || errors.Is(err, job.ErrStopped) ||
+			errors.Is(err, job.ErrNotRunning) || errors.Is(err, job.ErrStrategyMode) {
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		return err
+	}
+}
 
 // Target is a concrete fleet to move the inner tasks onto.
 type Target struct {
@@ -95,6 +130,11 @@ type Enactor struct {
 	Strategy core.Strategy
 	// Scheduler places instances on the new slot pool.
 	Scheduler scheduler.Scheduler
+	// Control, when set, routes every migration through an external
+	// control plane (a Job handle) so autoscale enactments serialize with
+	// operator-initiated operations instead of interleaving with them.
+	// When nil the Strategy is invoked on the Engine directly.
+	Control MigrateFunc
 	// KeepOldVMs leaves the old fleet provisioned after a successful
 	// migration (callers that manage rollback pools may want it).
 	KeepOldVMs bool
@@ -138,15 +178,27 @@ func (e *Enactor) Enact(t *Target) error {
 		return err
 	}
 
-	err = e.Strategy.Migrate(e.Engine, sched)
+	if e.Control != nil {
+		err = e.Control(context.Background(), e.Strategy, sched)
+	} else {
+		err = e.Strategy.Migrate(e.Engine, sched)
+	}
 	rec := Enactment{At: start, Took: clock.Now().Sub(start), Target: *t, Err: err}
 	e.mu.Lock()
 	e.history = append(e.history, rec)
 	e.mu.Unlock()
 
 	if err != nil {
-		// Neither fleet is released: a failed checkpoint rolled the
-		// dataflow back onto the old VMs, but a failed INIT leaves it
+		if errors.Is(err, ErrRejected) {
+			// Nothing migrated: retire the fleet provisioned for the
+			// aborted move.
+			if rerr := release(vms); rerr != nil {
+				err = errors.Join(err, rerr)
+			}
+			return fmt.Errorf("autoscale: enactment: %w", err)
+		}
+		// Otherwise neither fleet is released: a failed checkpoint rolled
+		// the dataflow back onto the old VMs, but a failed INIT leaves it
 		// half-restored on the new ones — the operator (or a retry)
 		// decides, with both pools intact.
 		return fmt.Errorf("autoscale: enactment: %w", err)

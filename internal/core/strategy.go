@@ -168,7 +168,7 @@ func (u DCRUpdate) Migrate(eng *runtime.Engine, newSched *scheduler.Schedule) er
 		eng.UnpauseSources()
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	eng.Collector().MarkDrainEnd()
+	eng.MarkDrainEnd()
 
 	// Swap the factory before the rebalance schedules any respawn, so
 	// every migrated executor is built with the new logic.
@@ -201,7 +201,7 @@ func drainAndMigrate(eng *runtime.Engine, newSched *scheduler.Schedule, prepare,
 		eng.UnpauseSources()
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	eng.Collector().MarkDrainEnd()
+	eng.MarkDrainEnd()
 
 	eng.Rebalance(newSched)
 

@@ -248,3 +248,20 @@ func makeSpecRate(t *topology.Topology, rate float64) Spec {
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// SpecOf derives Table-1-style deployment sizing (default 2-slot D2,
+// scale-in 4-slot D3, scale-out 1-slot D1) for an arbitrary user-built
+// topology, so custom dataflows can be submitted to the Job control
+// plane like the benchmark DAGs. Unlike the benchmark constructors it
+// does not enforce the paper's rate-derived parallelism.
+func SpecOf(t *topology.Topology) Spec {
+	inst := t.TotalInstances(topology.RoleInner)
+	return Spec{
+		Topology:    t,
+		Tasks:       len(t.Inner()),
+		Instances:   inst,
+		DefaultVMs:  ceilDiv(inst, 2),
+		ScaleInVMs:  ceilDiv(inst, 4),
+		ScaleOutVMs: inst,
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -9,11 +10,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataflows"
-	"repro/internal/runtime"
+	"repro/internal/job"
 	"repro/internal/scheduler"
 	"repro/internal/timex"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 // RampStep changes the aggregate source rate at a paper-time offset from
@@ -96,6 +95,14 @@ type AutoscaleResult struct {
 // consolidated (the off-peak shape of Table 1), start the loop, play the
 // ramp, and account reliability and billing at the horizon.
 func RunAutoscale(s AutoscaleScenario) (*AutoscaleResult, error) {
+	return RunAutoscaleContext(context.Background(), s)
+}
+
+// RunAutoscaleContext is RunAutoscale under a context: the dataflow is
+// submitted through the Job control plane and every loop enactment goes
+// through the job's serialized control. Canceling ctx ends the loop at
+// its next tick and the run reports what happened up to that point.
+func RunAutoscaleContext(ctx context.Context, s AutoscaleScenario) (*AutoscaleResult, error) {
 	if s.TimeScale <= 0 {
 		s.TimeScale = 0.02
 	}
@@ -120,57 +127,34 @@ func RunAutoscale(s AutoscaleScenario) (*AutoscaleResult, error) {
 	if s.Strategy == nil {
 		s.Strategy = core.CCR{} // the paper's recommended enactment
 	}
-	cfg := runtime.DefaultConfig(s.Strategy.Mode())
-	cfg.Seed = s.Seed
-
-	clock := timex.NewScaled(s.TimeScale)
-	clus := cluster.New()
-	topo := s.Spec.Topology
-
-	pinnedVM := clus.ProvisionPinned(cluster.D3, clock.Now())
-	pinned := make(map[topology.Instance]cluster.SlotRef)
-	slotIdx := 0
-	for _, inst := range topo.Instances(topology.RoleSource, topology.RoleSink) {
-		if slotIdx >= 3 {
-			return nil, fmt.Errorf("experiments: too many boundary instances for the pinned VM")
-		}
-		pinned[inst] = pinnedVM.Slots()[slotIdx]
-		slotIdx++
-	}
-	coordSlot := pinnedVM.Slots()[3]
 
 	// Off-peak start: consolidated on D3, the paper's scale-in shape.
 	fleet := autoscale.Fleet{Type: cluster.D3, VMs: s.Spec.ScaleInVMs}
-	clus.Provision(fleet.Type, fleet.VMs, clock.Now())
-	inner := topo.Instances(topology.RoleInner)
-	sched, err := (scheduler.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	j, err := job.Submit(context.Background(), s.Spec,
+		job.WithMode(s.Strategy.Mode()),
+		job.WithStrategy(s.Strategy),
+		job.WithTimeScale(s.TimeScale),
+		job.WithSeed(s.Seed),
+		job.WithInitialFleet(fleet.Type, fleet.VMs),
+	)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: initial placement: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-
-	eng, err := runtime.New(runtime.Params{
-		Topology:        topo,
-		Factory:         workload.CountFactory,
-		Clock:           clock,
-		Config:          cfg,
-		InnerSchedule:   sched,
-		Pinned:          pinned,
-		CoordinatorSlot: coordSlot,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: engine: %w", err)
+	defer j.Stop()
+	eng, clus, clock := j.Engine(), j.Cluster(), j.Clock()
+	if err := j.Start(); err != nil {
+		return nil, err
 	}
-	eng.Start()
-	defer eng.Stop()
 
 	enactor := &autoscale.Enactor{
 		Engine:    eng,
 		Cluster:   clus,
 		Strategy:  s.Strategy,
 		Scheduler: scheduler.RoundRobin{},
+		Control:   autoscale.JobControl(j),
 	}
 	res := &AutoscaleResult{
-		DAG:      topo.Name(),
+		DAG:      s.Spec.Topology.Name(),
 		Strategy: s.Strategy.Name(),
 		Policy:   s.Policy.Name(),
 	}
@@ -204,15 +188,16 @@ func RunAutoscale(s AutoscaleScenario) (*AutoscaleResult, error) {
 		defer close(rampDone)
 		for _, step := range ramp {
 			timex.SleepUntil(clock, start.Add(step.After))
-			eng.SetSourceRate(step.Rate)
+			j.SetSourceRate(step.Rate)
 		}
 	}()
 
-	// Poll the loop until the horizon. A failed enactment is not fatal:
-	// the strategy rolled the dataflow back, hysteresis opens a cooldown,
-	// and the loop retries once the signal persists — queues that defeated
-	// a drain wave have usually emptied by then.
-	for clock.Since(start) < s.Horizon {
+	// Poll the loop until the horizon (or cancellation). A failed
+	// enactment is not fatal: the strategy rolled the dataflow back,
+	// hysteresis opens a cooldown, and the loop retries once the signal
+	// persists — queues that defeated a drain wave have usually emptied
+	// by then.
+	for clock.Since(start) < s.Horizon && ctx.Err() == nil {
 		clock.Sleep(s.Interval)
 		loop.Tick()
 	}

@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataflows"
+	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
@@ -27,27 +30,16 @@ import (
 )
 
 // Direction is the elasticity scenario (§5: the two most common on
-// Clouds).
-type Direction int
+// Clouds). It is the Job control plane's direction type; scale-in
+// consolidates the default n×D2 deployment onto ⌈n/2⌉×D3 VMs, scale-out
+// spreads it onto 2n×D1 VMs (Table 1).
+type Direction = job.Direction
 
-// Scale directions. Scale-in consolidates the default n×D2 deployment
-// onto ⌈n/2⌉×D3 VMs; scale-out spreads it onto 2n×D1 VMs (Table 1).
+// Scale directions of §5.
 const (
-	ScaleIn Direction = iota + 1
-	ScaleOut
+	ScaleIn  = job.ScaleIn
+	ScaleOut = job.ScaleOut
 )
-
-// String implements fmt.Stringer.
-func (d Direction) String() string {
-	switch d {
-	case ScaleIn:
-		return "scale-in"
-	case ScaleOut:
-		return "scale-out"
-	default:
-		return fmt.Sprintf("Direction(%d)", int(d))
-	}
-}
 
 // RunConfig tunes scenario execution.
 type RunConfig struct {
@@ -131,10 +123,21 @@ type Result struct {
 
 	// MigrationErr records a failed enactment (nil on success).
 	MigrationErr error
+
+	// Canceled reports that the run's context was canceled: the dataflow
+	// was drained gracefully and the Result snapshots the partial run.
+	Canceled bool
 }
 
 // Run executes one scenario.
-func Run(s Scenario) (*Result, error) {
+func Run(s Scenario) (*Result, error) { return RunContext(context.Background(), s) }
+
+// RunContext executes one scenario under a context: deploy the dataflow
+// through the Job control plane, warm it to steady state, enact the
+// migration live, and run until the output stabilizes. Canceling ctx at
+// any point drains the dataflow gracefully (an in-flight migration first
+// unwinds) and returns the partial Result with Canceled set.
+func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	if s.Run.TimeScale <= 0 {
 		s.Run = DefaultRunConfig()
 	}
@@ -142,53 +145,26 @@ func Run(s Scenario) (*Result, error) {
 	if s.Strategy != nil {
 		mode = s.Strategy.Mode()
 	}
-	cfg := runtime.DefaultConfig(mode)
-	cfg.Seed = s.Run.Seed
+	opts := []job.Option{
+		job.WithMode(mode),
+		job.WithTimeScale(s.Run.TimeScale),
+		job.WithSeed(s.Run.Seed),
+		// Queued control: the graceful-cancel drain waits its turn behind
+		// an abandoned in-flight migration instead of failing busy.
+		job.WithQueuedControl(),
+	}
 	if s.Run.Overrides != nil {
-		s.Run.Overrides(&cfg)
+		opts = append(opts, job.WithConfigOverrides(s.Run.Overrides))
 	}
-
-	clock := timex.NewScaled(s.Run.TimeScale)
-	clus := cluster.New()
-	topo := s.Spec.Topology
-
-	// Source, sink and the checkpoint coordinator share a pinned 4-slot
-	// VM, as in the paper's setup.
-	pinnedVM := clus.ProvisionPinned(cluster.D3, clock.Now())
-	pinned := make(map[topology.Instance]cluster.SlotRef)
-	slotIdx := 0
-	for _, inst := range topo.Instances(topology.RoleSource, topology.RoleSink) {
-		if slotIdx >= 3 {
-			return nil, fmt.Errorf("experiments: too many boundary instances for the pinned VM")
-		}
-		pinned[inst] = pinnedVM.Slots()[slotIdx]
-		slotIdx++
-	}
-	coordSlot := pinnedVM.Slots()[3]
-
-	// Default deployment: DefaultVMs × D2.
-	oldVMs := clus.Provision(cluster.D2, s.Spec.DefaultVMs, clock.Now())
-	inner := topo.Instances(topology.RoleInner)
-	oldSched, err := (scheduler.RoundRobin{}).Place(inner, clus.UnpinnedSlots())
+	j, err := job.Submit(context.Background(), s.Spec, opts...)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: initial placement: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-
-	eng, err := runtime.New(runtime.Params{
-		Topology:        topo,
-		Factory:         workload.CountFactory,
-		Clock:           clock,
-		Config:          cfg,
-		InnerSchedule:   oldSched,
-		Pinned:          pinned,
-		CoordinatorSlot: coordSlot,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: engine: %w", err)
-	}
+	defer j.Stop()
+	eng, clus, clock := j.Engine(), j.Cluster(), j.Clock()
 
 	res := &Result{
-		DAG:       topo.Name(),
+		DAG:       s.Spec.Topology.Name(),
 		Direction: s.Direction,
 		VMsBefore: s.Spec.DefaultVMs,
 	}
@@ -197,19 +173,26 @@ func Run(s Scenario) (*Result, error) {
 	}
 	res.RateBefore = clus.RatePerMinute()
 
-	eng.Start()
-	defer eng.Stop()
+	if err := j.Start(); err != nil {
+		return nil, err
+	}
 	spec := metrics.DefaultStabilization(eng.ExpectedSinkRate())
 
-	clock.Sleep(s.Run.PreMigration)
+	if !sleepOrCancel(ctx, clock, s.Run.PreMigration) {
+		return cancelFinish(j, spec, res)
+	}
 
 	if s.Run.NoMigration {
-		clock.Sleep(s.Run.PostHorizon)
+		if !sleepOrCancel(ctx, clock, s.Run.PostHorizon) {
+			return cancelFinish(j, spec, res)
+		}
 		finish(eng, spec, res)
 		return res, nil
 	}
 
-	// Provision the migration target and compute the new schedule.
+	// Provision the migration target and compute the new schedule. The
+	// old fleet is whatever is currently unpinned (the initial
+	// DefaultVMs × D2 deployment).
 	var targetType cluster.VMType
 	var targetCount int
 	switch s.Direction {
@@ -219,18 +202,26 @@ func Run(s Scenario) (*Result, error) {
 		targetType, targetCount = cluster.D3, s.Spec.ScaleInVMs
 	}
 	res.VMsAfter = targetCount
+	oldVMs := clus.UnpinnedVMs()
 	targetVMs := clus.Provision(targetType, targetCount, clock.Now())
 	var newSlots []cluster.SlotRef
 	for _, vm := range targetVMs {
 		newSlots = append(newSlots, vm.Slots()...)
 	}
+	inner := s.Spec.Topology.Instances(topology.RoleInner)
 	newSched, err := (scheduler.RoundRobin{}).Place(inner, newSlots)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: target placement: %w", err)
 	}
 
 	processedBefore := sumProcessed(eng)
-	res.MigrationErr = s.Strategy.Migrate(eng, newSched)
+	res.MigrationErr = j.Migrate(ctx, s.Strategy, newSched)
+	if res.MigrationErr != nil && errors.Is(res.MigrationErr, ctx.Err()) {
+		// Canceled mid-migration: the abandoned strategy unwinds in the
+		// background; the queued drain below waits for it.
+		res.MigrationErr = nil
+		return cancelFinish(j, spec, res)
+	}
 	processedAfter := sumProcessed(eng)
 	if d := processedBefore - processedAfter; d > 0 {
 		res.Staleness = d
@@ -255,6 +246,9 @@ func Run(s Scenario) (*Result, error) {
 	request, _ := eng.Collector().MigrationRequested()
 	deadline := request.Add(s.Run.PostHorizon)
 	for {
+		if ctx.Err() != nil {
+			return cancelFinish(j, spec, res)
+		}
 		clock.Sleep(5 * time.Second)
 		now := clock.Now()
 		if now.After(deadline) {
@@ -268,6 +262,36 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 	finish(eng, spec, res)
+	return res, nil
+}
+
+// sleepOrCancel sleeps d of paper time in 5 s slices, returning false as
+// soon as ctx is canceled.
+func sleepOrCancel(ctx context.Context, clock timex.Clock, d time.Duration) bool {
+	deadline := clock.Now().Add(d)
+	for {
+		if ctx.Err() != nil {
+			return false
+		}
+		remaining := deadline.Sub(clock.Now())
+		if remaining <= 0 {
+			return true
+		}
+		step := 5 * time.Second
+		if remaining < step {
+			step = remaining
+		}
+		clock.Sleep(step)
+	}
+}
+
+// cancelFinish gracefully quiesces a canceled run — drain (queued behind
+// any abandoned migration), snapshot, report — so an interrupted
+// experiment still yields its partial measurements.
+func cancelFinish(j *job.Job, spec metrics.StabilizationSpec, res *Result) (*Result, error) {
+	res.Canceled = true
+	_ = j.Drain(context.Background())
+	finish(j.Engine(), spec, res)
 	return res, nil
 }
 

@@ -1,0 +1,199 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+// collectEvents records every event from ch until it closes.
+func collectEvents(ch <-chan Event) (get func() []Event) {
+	var mu sync.Mutex
+	var evs []Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			mu.Lock()
+			evs = append(evs, ev)
+			mu.Unlock()
+		}
+	}()
+	return func() []Event {
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Event(nil), evs...)
+	}
+}
+
+// assertSerialized fails if any migration-begun event lands between
+// another migration's begun and terminal event — the interleaving the
+// control token must make impossible.
+func assertSerialized(t *testing.T, evs []Event) {
+	t.Helper()
+	inFlight := 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EventMigrationBegun:
+			inFlight++
+			if inFlight > 1 {
+				t.Fatalf("two migrations in flight at once: %v", evs)
+			}
+		case EventMigrationDone, EventMigrationFailed:
+			inFlight--
+		}
+	}
+}
+
+// spareSchedule provisions a spare D3 fleet and places the inner tasks on
+// it — an explicit Migrate target independent of Scale's planning.
+func spareSchedule(t *testing.T, j *Job) *scheduler.Schedule {
+	t.Helper()
+	vms := j.Cluster().Provision(cluster.D3, j.Spec().ScaleInVMs, j.Clock().Now())
+	var slots []cluster.SlotRef
+	for _, vm := range vms {
+		slots = append(slots, vm.Slots()...)
+	}
+	inner := j.Spec().Topology.Instances(topology.RoleInner)
+	sched, err := (scheduler.RoundRobin{}).Place(inner, slots)
+	if err != nil {
+		t.Fatalf("spare placement: %v", err)
+	}
+	return sched
+}
+
+// TestConcurrentMigrateScaleFailFast: with default control, a Scale
+// racing an in-flight Migrate is rejected with ErrBusy and no migration
+// phases interleave.
+func TestConcurrentMigrateScaleFailFast(t *testing.T) {
+	j := submitLinear(t)
+	getEvents := collectEvents(j.Events())
+	began := j.Events() // second subscription, for synchronization
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 20)
+
+	target := spareSchedule(t, j)
+	migErr := make(chan error, 1)
+	go func() { migErr <- j.Migrate(context.Background(), nil, target) }()
+
+	// The begun event is emitted only after the migration owns the
+	// control token, so from here a Scale is deterministically rejected.
+	waitEvent(t, began, EventMigrationBegun, 30*time.Second)
+	if err := j.Scale(context.Background(), ScaleOut); !errors.Is(err, ErrBusy) {
+		t.Fatalf("concurrent Scale = %v, want ErrBusy", err)
+	}
+	if err := <-migErr; err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+
+	// Control free again: the same Scale now succeeds.
+	if err := j.Scale(context.Background(), ScaleOut); err != nil {
+		t.Fatalf("Scale after Migrate: %v", err)
+	}
+	j.Stop()
+	assertSerialized(t, getEvents())
+}
+
+// TestConcurrentMigrateScaleQueued: with WithQueuedControl, both racing
+// operations run — one after the other, never interleaved.
+func TestConcurrentMigrateScaleQueued(t *testing.T) {
+	j := submitLinear(t, WithQueuedControl())
+	getEvents := collectEvents(j.Events())
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 20)
+
+	target := spareSchedule(t, j)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs <- j.Migrate(context.Background(), core.DCR{}, target) }()
+	go func() { defer wg.Done(); errs <- j.Scale(context.Background(), ScaleOut) }()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("queued control operation failed: %v", err)
+		}
+	}
+	// Drain before auditing: catchup backlog still in flight would count
+	// as transiently lost.
+	if err := j.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	eng := j.Engine()
+	if lost := len(eng.Audit().Lost(eng.Clock().Now())); lost != 0 {
+		t.Fatalf("lost %d payloads across queued migrations", lost)
+	}
+	j.Stop()
+
+	evs := getEvents()
+	assertSerialized(t, evs)
+	migrations := 0
+	for _, ev := range evs {
+		if ev.Kind == EventMigrationDone {
+			migrations++
+		}
+	}
+	if migrations != 2 {
+		t.Fatalf("completed migrations = %d, want 2", migrations)
+	}
+}
+
+// TestMigrateCancelAbandonsButSerializes: canceling an in-flight Migrate
+// returns immediately, but control stays held until the strategy unwinds
+// — an immediate follow-up is ErrBusy, and the terminal event still
+// arrives.
+func TestMigrateCancelAbandonsButSerializes(t *testing.T) {
+	j := submitLinear(t)
+	events := j.Events()
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 20)
+
+	target := spareSchedule(t, j)
+	ctx, cancel := context.WithCancel(context.Background())
+	migErr := make(chan error, 1)
+	go func() { migErr <- j.Migrate(ctx, nil, target) }()
+	waitEvent(t, events, EventMigrationBegun, 30*time.Second)
+	cancel()
+	if err := <-migErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Migrate = %v, want context.Canceled", err)
+	}
+	waitEvent(t, events, EventMigrationCanceled, 30*time.Second)
+
+	// The abandoned strategy still holds control while it unwinds.
+	if err := j.Checkpoint(context.Background()); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Checkpoint during abandoned migration = %v, want ErrBusy", err)
+	}
+
+	// The strategy completes in the background and publishes its terminal
+	// event; control is released after it.
+	term := waitEvent(t, events, EventMigrationDone, 60*time.Second)
+	if term.Detail != "completed after cancellation" {
+		t.Fatalf("terminal event detail = %q", term.Detail)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := j.Checkpoint(context.Background())
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrBusy) || time.Now().After(deadline) {
+			t.Fatalf("Checkpoint after abandoned migration finished: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

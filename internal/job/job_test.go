@@ -1,0 +1,277 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+)
+
+// submitLinear deploys the Linear benchmark at 50× compression — small
+// (5 inner instances) and fast enough for every lifecycle test.
+func submitLinear(t *testing.T, opts ...Option) *Job {
+	t.Helper()
+	opts = append([]Option{WithTimeScale(0.02), WithSeed(7)}, opts...)
+	j, err := Submit(context.Background(), dataflows.Linear(), opts...)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	t.Cleanup(j.Stop)
+	return j
+}
+
+// waitEvent drains ch until an event of the wanted kind arrives, failing
+// after a wall-clock timeout. Returns the event.
+func waitEvent(t *testing.T, ch <-chan Event, kind EventKind, timeout time.Duration) Event {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("event stream closed while waiting for %s", kind)
+			}
+			if ev.Kind == kind {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s event", kind)
+		}
+	}
+}
+
+func waitSinkArrivals(t *testing.T, j *Job, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Engine().Audit().SinkArrivals() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d sink arrivals", want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestLifecycleStartDrainResumeStop(t *testing.T) {
+	j := submitLinear(t)
+	events := j.Events()
+
+	if got := j.State(); got != StatePending {
+		t.Fatalf("state after Submit = %s, want pending", got)
+	}
+	if err := j.Drain(context.Background()); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Drain before Start = %v, want ErrNotRunning", err)
+	}
+
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatalf("second Start not idempotent: %v", err)
+	}
+	waitEvent(t, events, EventStarted, 10*time.Second)
+	waitSinkArrivals(t, j, 20)
+
+	if err := j.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	waitEvent(t, events, EventDrained, 10*time.Second)
+	if got := j.State(); got != StateDrained {
+		t.Fatalf("state after Drain = %s, want drained", got)
+	}
+	st := j.Status()
+	if st.QueueBacklog != 0 {
+		t.Fatalf("drained job has backlog %d", st.QueueBacklog)
+	}
+	// Quiesced: the sink sees nothing new while drained.
+	before := j.Engine().Audit().SinkArrivals()
+	j.Clock().Sleep(5 * time.Second)
+	if after := j.Engine().Audit().SinkArrivals(); after != before {
+		t.Fatalf("drained job delivered %d events", after-before)
+	}
+
+	if err := j.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	waitEvent(t, events, EventResumed, 10*time.Second)
+	waitSinkArrivals(t, j, before+10)
+
+	j.Stop()
+	j.Stop() // idempotent
+	waitEvent(t, events, EventStopped, 10*time.Second)
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done not closed after Stop")
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait after Stop: %v", err)
+	}
+	if err := j.Checkpoint(context.Background()); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Checkpoint after Stop = %v, want ErrStopped", err)
+	}
+	if _, ok := <-j.Events(); ok {
+		t.Fatal("Events on a stopped job should return a closed channel")
+	}
+}
+
+func TestDrainCancelResumesSources(t *testing.T) {
+	j := submitLinear(t)
+	events := j.Events()
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 10)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the first ctx check inside the drain loop aborts it
+	if err := j.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Drain = %v, want context.Canceled", err)
+	}
+	waitEvent(t, events, EventDrainCanceled, 10*time.Second)
+	if got := j.State(); got != StateRunning {
+		t.Fatalf("state after canceled Drain = %s, want running", got)
+	}
+	// Sources resumed: traffic keeps flowing.
+	before := j.Engine().Audit().SinkArrivals()
+	waitSinkArrivals(t, j, before+10)
+}
+
+func TestMigrateRejectedWhileDrained(t *testing.T) {
+	j := submitLinear(t)
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 10)
+	if err := j.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Strategies unpause the sources when they finish; migrating a
+	// drained job would silently thaw it, so it is refused.
+	if err := j.Scale(context.Background(), ScaleIn); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Scale while drained = %v, want ErrNotRunning", err)
+	}
+	if got := j.State(); got != StateDrained {
+		t.Fatalf("state after rejected Scale = %s, want drained", got)
+	}
+	before := j.Engine().Audit().SinkArrivals()
+	j.Clock().Sleep(5 * time.Second)
+	if after := j.Engine().Audit().SinkArrivals(); after != before {
+		t.Fatalf("rejected migration thawed a drained job (%d new arrivals)", after-before)
+	}
+	if err := j.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := j.Scale(context.Background(), ScaleIn); err != nil {
+		t.Fatalf("Scale after Resume: %v", err)
+	}
+}
+
+// TestStartStopRaceLeavesNothingRunning: a Start racing the
+// lifetime-context Stop must never leave a dataflow running behind a
+// closed Done channel (the engine refuses Start once stopped).
+func TestStartStopRaceLeavesNothingRunning(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		j, err := Submit(ctx, dataflows.Linear(), WithTimeScale(0.02))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		go cancel() // races the Start below via the lifetime watcher
+		_ = j.Start()
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		// Stop has fully returned: whatever Start launched is down.
+		if n := j.Engine().RunningExecutors(); n != 0 {
+			t.Fatalf("round %d: %d executors survived the Start/Stop race", i, n)
+		}
+	}
+}
+
+func TestSubmitContextStopsJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := Submit(ctx, dataflows.Linear(), WithTimeScale(0.02))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cancel()
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := j.State(); got != StateStopped {
+		t.Fatalf("state after lifetime-ctx cancel = %s, want stopped", got)
+	}
+}
+
+func TestStrategyModeValidation(t *testing.T) {
+	j := submitLinear(t) // ModeCCR engine
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	err := j.ScaleWith(context.Background(), ScaleIn, core.DSM{})
+	if !errors.Is(err, ErrStrategyMode) {
+		t.Fatalf("DSM on a CCR job = %v, want ErrStrategyMode", err)
+	}
+	// DCR on a CCR engine is allowed (drain-based, mode-independent).
+	if err := j.checkStrategyMode(core.DCR{}); err != nil {
+		t.Fatalf("DCR on a CCR job rejected: %v", err)
+	}
+}
+
+func TestSetSourceRateAndStatus(t *testing.T) {
+	j := submitLinear(t)
+	events := j.Events()
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j.SetSourceRate(4)
+	ev := waitEvent(t, events, EventRateChanged, 10*time.Second)
+	if ev.Rate != 4 {
+		t.Fatalf("rate event = %v, want 4", ev.Rate)
+	}
+	st := j.Status()
+	if st.SourceRate != 4 {
+		t.Fatalf("Status.SourceRate = %v, want 4", st.SourceRate)
+	}
+	if st.State != StateRunning || st.DAG != "linear-5" || st.Mode != runtime.ModeCCR {
+		t.Fatalf("Status = %+v", st)
+	}
+	if st.VMs == 0 || st.BillingRate <= 0 || st.RunningExecutors == 0 {
+		t.Fatalf("Status deployment fields empty: %+v", st)
+	}
+}
+
+func TestCheckpointAndCrashRestart(t *testing.T) {
+	j := submitLinear(t)
+	events := j.Events()
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 10)
+
+	if err := j.Checkpoint(context.Background()); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if ev := waitEvent(t, events, EventCheckpointDone, 10*time.Second); ev.Err != nil {
+		t.Fatalf("checkpoint event error: %v", ev.Err)
+	}
+	if j.Engine().Store().Stats().Ops == 0 {
+		t.Fatal("checkpoint persisted nothing")
+	}
+
+	inst := topology.Instance{Task: "T2", Index: 0}
+	if !j.CrashExecutor(inst) {
+		t.Fatal("CrashExecutor found no executor")
+	}
+	waitEvent(t, events, EventExecutorCrashed, 10*time.Second)
+	j.RestartExecutor(inst)
+	waitEvent(t, events, EventExecutorRestarted, 10*time.Second)
+}

@@ -1,0 +1,132 @@
+package job
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+)
+
+// TestMultiMigrationGridZeroLoss is the workload the one-shot RunScenario
+// could never express: one Grid job, two sequential live migrations on
+// the same handle — scale-out enacted with CCR, then scale-in enacted
+// with DCR — with zero loss, zero duplicates and zero replays across
+// both. Runs under -race in CI.
+func TestMultiMigrationGridZeroLoss(t *testing.T) {
+	scale := 0.02
+	if testing.Short() {
+		scale = 0.04 // -race CI box: relax compression, same paper timeline
+	}
+	j, err := Submit(context.Background(), dataflows.Grid(),
+		WithTimeScale(scale), WithSeed(11), WithMode(core.CCR{}.Mode()))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer j.Stop()
+	getEvents := collectEvents(j.Events())
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	clock := j.Clock()
+	eng := j.Engine()
+	// waitCaughtUp polls until every root emitted more than 45 s ago has
+	// reached the sink — in-flight catchup backlog counts as transiently
+	// "lost" until it lands, exactly as the one-shot runner waits.
+	waitCaughtUp := func(label string) {
+		t.Helper()
+		deadline := clock.Now().Add(420 * time.Second)
+		for {
+			clock.Sleep(10 * time.Second)
+			if len(eng.Audit().Lost(clock.Now().Add(-45*time.Second))) == 0 {
+				return
+			}
+			if clock.Now().After(deadline) {
+				t.Fatalf("%s: lost events never recovered", label)
+			}
+		}
+	}
+	clock.Sleep(45 * time.Second) // steady state
+
+	// Leg 1: spread onto one D1 per instance, live, with CCR.
+	if err := j.ScaleWith(context.Background(), ScaleOut, core.CCR{}); err != nil {
+		t.Fatalf("scale-out (CCR): %v", err)
+	}
+	assertFleet(t, j, cluster.D1, j.Spec().ScaleOutVMs)
+	waitCaughtUp("after scale-out")
+
+	// Leg 2: consolidate back onto D3s, live, with DCR — a drain-based
+	// migration on the same (ModeCCR) engine.
+	if err := j.ScaleWith(context.Background(), ScaleIn, core.DCR{}); err != nil {
+		t.Fatalf("scale-in (DCR): %v", err)
+	}
+	assertFleet(t, j, cluster.D3, j.Spec().ScaleInVMs)
+	waitCaughtUp("after scale-in")
+
+	// Strict final audit: drain the dataflow completely, then demand that
+	// every root ever emitted reached the sink — no cutoff slack at all.
+	if err := j.Drain(context.Background()); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	if lost := eng.Audit().Lost(clock.Now()); len(lost) != 0 {
+		t.Fatalf("lost %d payloads across two migrations", len(lost))
+	}
+	if dup := eng.Audit().Duplicates(eng.Fanout()); dup != 0 {
+		t.Fatalf("%d duplicated payloads", dup)
+	}
+	if rep := eng.Collector().ReplayedCount(); rep != 0 {
+		t.Fatalf("%d replayed events (JIT strategies replay nothing)", rep)
+	}
+	// No boundary assertion: the audit stamps PreMigration against the
+	// first migration request only, and CCR (leg 1) does not promise a
+	// strict old/new cut — only DCR does (§3.2).
+	if st := j.Status(); st.Migrations != 2 {
+		t.Fatalf("Status.Migrations = %d, want 2", st.Migrations)
+	}
+
+	j.Stop()
+	evs := getEvents()
+	assertSerialized(t, evs)
+	// The stream narrates both enactments: begun/phases/done, twice.
+	var kinds []EventKind
+	for _, ev := range evs {
+		if ev.Kind == EventMigrationBegun || ev.Kind == EventMigrationDone {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	want := []EventKind{EventMigrationBegun, EventMigrationDone, EventMigrationBegun, EventMigrationDone}
+	if len(kinds) != len(want) {
+		t.Fatalf("migration events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("migration events = %v, want %v", kinds, want)
+		}
+	}
+	phases := 0
+	for _, ev := range evs {
+		if ev.Kind == EventMigrationPhase {
+			phases++
+		}
+	}
+	if phases < 6 { // ≥3 phases per enactment (requested, rebalance×2; +drain-end)
+		t.Fatalf("only %d phase events across two migrations", phases)
+	}
+}
+
+// assertFleet verifies the unpinned fleet has the wanted shape.
+func assertFleet(t *testing.T, j *Job, want cluster.VMType, n int) {
+	t.Helper()
+	vms := j.Cluster().UnpinnedVMs()
+	if len(vms) != n {
+		t.Fatalf("fleet = %d VMs, want %d", len(vms), n)
+	}
+	for _, vm := range vms {
+		if vm.Type.Name != want.Name {
+			t.Fatalf("fleet VM %s is %s, want %s", vm.ID, vm.Type.Name, want.Name)
+		}
+	}
+}

@@ -82,7 +82,42 @@ type Engine struct {
 	lostKill  atomic.Int64  // data events dropped by executor kills
 	srcRate   atomic.Uint64 // live per-source rate (math.Float64bits)
 
+	// stopDone is closed once Stop has fully torn the engine down;
+	// concurrent Stop callers wait on it so "Stop returned" always means
+	// "engine stopped", whichever call did the work.
+	stopDone chan struct{}
+
+	// phaseHook, when set, observes migration phase transitions (the Job
+	// control plane turns them into events). Holds a func(MigrationPhase).
+	phaseHook atomic.Value
+
 	wg sync.WaitGroup
+}
+
+// MigrationPhase labels one transition inside a migration enactment,
+// reported through the hook installed with SetPhaseHook.
+type MigrationPhase string
+
+// The phases every strategy passes through, in order. DSM skips
+// PhaseDrainEnd (it never drains).
+const (
+	PhaseRequested      MigrationPhase = "requested"
+	PhaseDrainEnd       MigrationPhase = "drain-end"
+	PhaseRebalanceStart MigrationPhase = "rebalance-start"
+	PhaseRebalanceEnd   MigrationPhase = "rebalance-end"
+)
+
+// SetPhaseHook installs f to observe migration phase transitions. One
+// hook at a time; f must be fast and non-blocking (it runs on the
+// migrating goroutine). A nil f removes the hook.
+func (e *Engine) SetPhaseHook(f func(MigrationPhase)) {
+	e.phaseHook.Store(f)
+}
+
+func (e *Engine) notePhase(p MigrationPhase) {
+	if f, _ := e.phaseHook.Load().(func(MigrationPhase)); f != nil {
+		f(p)
+	}
 }
 
 type edgeKey struct{ from, to string }
@@ -190,10 +225,12 @@ func instancesOf(task *topology.Task) []topology.Instance {
 }
 
 // Start launches executors for every inner and sink instance, the
-// sources, and (under DSM) periodic checkpointing.
+// sources, and (under DSM) periodic checkpointing. A no-op once started
+// — or once stopped: a Start racing a concurrent Stop must not relaunch
+// a dataflow whose teardown already completed.
 func (e *Engine) Start() {
 	e.mu.Lock()
-	if e.started {
+	if e.started || e.stopped {
 		e.mu.Unlock()
 		return
 	}
@@ -219,16 +256,22 @@ func (e *Engine) Start() {
 }
 
 // Stop shuts the engine down: coordinator, sources, acker, executors,
-// then the delivery fabric. Safe to call once.
+// then the delivery fabric. Idempotent and safe to call concurrently —
+// every call returns only after the engine is fully stopped, whichever
+// call did the teardown — and safe to race with an in-flight Rebalance
+// (the rebalance's kills and respawns fold into the shutdown).
 func (e *Engine) Stop() {
 	e.stopping.Store(true)
-	e.coord.Close()
 	e.mu.Lock()
 	if e.stopped {
+		done := e.stopDone
 		e.mu.Unlock()
+		<-done
 		return
 	}
 	e.stopped = true
+	e.stopDone = make(chan struct{})
+	defer close(e.stopDone)
 	for _, t := range e.respawnTimers {
 		t.Stop()
 	}
@@ -236,6 +279,7 @@ func (e *Engine) Stop() {
 	sources := e.sources
 	e.mu.Unlock()
 
+	e.coord.Close()
 	for _, s := range sources {
 		s.stop()
 	}
@@ -370,6 +414,16 @@ func (e *Engine) SourcePendingCached() int {
 func (e *Engine) OnMigrationRequested() {
 	e.collector.MarkMigrationRequested()
 	e.migration.Store(true)
+	e.notePhase(PhaseRequested)
+}
+
+// MarkDrainEnd records the end of the drain/capture phase (the JIT
+// checkpoint committed) and reports it to the phase hook. Strategies call
+// this instead of marking the collector directly so control planes
+// observe the transition.
+func (e *Engine) MarkDrainEnd() {
+	e.collector.MarkDrainEnd()
+	e.notePhase(PhaseDrainEnd)
 }
 
 func (e *Engine) migrationRequested() bool { return e.migration.Load() }
@@ -422,6 +476,7 @@ func (e *Engine) forEachSink(f func(*Executor)) {
 // starting, exactly as observed in the paper.
 func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 	e.collector.MarkRebalanceStart()
+	e.notePhase(PhaseRebalanceStart)
 
 	e.mu.Lock()
 	migrating := scheduler.Diff(e.innerSchedule, newSched)
@@ -441,6 +496,7 @@ func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 
 	e.clock.Sleep(e.cfg.RebalanceCmdTime)
 	e.collector.MarkRebalanceEnd()
+	e.notePhase(PhaseRebalanceEnd)
 
 	// Workers respawn in arbitrary order (Storm's assignment of executors
 	// to new workers is not deterministic), serialized by the stagger.
@@ -452,6 +508,12 @@ func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.stopped {
+		// A Stop raced in while the rebalance command ran: it already
+		// cancelled every respawn timer, so scheduling new ones would
+		// leave workers respawning into a dead engine.
+		return migrating
+	}
 	for i, inst := range order {
 		inst := inst
 		// From this point the new assignment is known: the transport

@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+// TestStopIdempotentConcurrentRebalance hammers the shutdown contract the
+// Job control plane relies on: Stop may be called repeatedly, from many
+// goroutines, while a Rebalance is in flight — every Stop call returns
+// only after the engine is fully down, no respawn timer survives, and no
+// executor outlives the shutdown. Run with -race.
+func TestStopIdempotentConcurrentRebalance(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		h := newHarness(t, linear3(), ModeCCR)
+		h.eng.Start()
+		waitUntil(t, 10*time.Second, "flow", func() bool {
+			return h.eng.Audit().SinkArrivals() >= 3
+		})
+
+		inner := h.eng.Topology().Instances(topology.RoleInner)
+		newSched, err := (scheduler.RoundRobin{}).Place(inner, h.newSlots)
+		if err != nil {
+			t.Fatalf("placement: %v", err)
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.eng.Rebalance(newSched)
+		}()
+		// Let some rounds race Stop into the middle of the rebalance
+		// command, others start it concurrently from the first instant.
+		if round%2 == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h.eng.Stop()
+			}()
+		}
+		wg.Wait()
+		h.eng.Stop() // idempotent once already stopped
+
+		if n := h.eng.PendingRespawns(); n != 0 {
+			t.Fatalf("round %d: %d respawn timers survived Stop", round, n)
+		}
+		if n := h.eng.RunningExecutors(); n != 0 {
+			t.Fatalf("round %d: %d executors survived Stop", round, n)
+		}
+	}
+}
+
+// TestStopWaitsForInflightStop verifies the concurrent-caller contract in
+// isolation: a second Stop must block until the first finishes, so both
+// observe a fully-stopped engine.
+func TestStopWaitsForInflightStop(t *testing.T) {
+	h := newHarness(t, linear3(), ModeDCR)
+	h.eng.Start()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 3
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.eng.Stop()
+			if n := h.eng.RunningExecutors(); n != 0 {
+				t.Errorf("Stop returned with %d executors still running", n)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -19,11 +19,22 @@
 //   - and reproduce every evaluation artifact (Suite, Scenario, the
 //     Table 1 / Fig. 5–9 generators).
 //
-// Quick start: see examples/quickstart, or:
+// Quick start — submit a dataflow to the Job control plane and operate
+// it live (see examples/quickstart):
 //
-//	spec := repro.Grid()
+//	j, err := repro.Submit(ctx, repro.Grid())
+//	if err != nil { ... }
+//	defer j.Stop()
+//	j.Start()
+//	clock := j.Clock()
+//	clock.Sleep(60 * time.Second)           // steady state (paper time)
+//	err = j.Scale(ctx, repro.ScaleIn)       // live CCR migration onto D3s
+//	fmt.Println(j.Metrics(), j.Status())
+//
+// Or reproduce one scripted evaluation cell with the batch runner:
+//
 //	res, err := repro.RunScenario(repro.Scenario{
-//	    Spec:      spec,
+//	    Spec:      repro.Grid(),
 //	    Strategy:  repro.CCR{},
 //	    Direction: repro.ScaleIn,
 //	    Run:       repro.DefaultRunConfig(),
@@ -38,12 +49,108 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflows"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
 	"repro/internal/timex"
 	"repro/internal/topology"
 	"repro/internal/workload"
+)
+
+// --- job control plane --------------------------------------------------
+
+// Job is a long-lived handle on one deployed dataflow: lifecycle (Start,
+// Drain, Resume, Stop, Wait, Done), live operations (Migrate, Scale,
+// SetSourceRate, Checkpoint, fault injection), observability (Status,
+// Metrics, Events) and serialized control. See internal/job.
+type Job = job.Job
+
+// Submit deploys a dataflow and returns its Job handle. The context
+// bounds the job's lifetime; options tune clock, mode, seed, fleet and
+// control semantics.
+var Submit = job.Submit
+
+// JobOption configures Submit.
+type JobOption = job.Option
+
+// Submit options.
+var (
+	WithClock           = job.WithClock
+	WithTimeScale       = job.WithTimeScale
+	WithMode            = job.WithMode
+	WithStrategy        = job.WithStrategy
+	WithFactory         = job.WithFactory
+	WithSeed            = job.WithSeed
+	WithFabricShards    = job.WithFabricShards
+	WithSourceRate      = job.WithSourceRate
+	WithConfigOverrides = job.WithConfigOverrides
+	WithScheduler       = job.WithScheduler
+	WithInitialFleet    = job.WithInitialFleet
+	WithQueuedControl   = job.WithQueuedControl
+	WithEventBuffer     = job.WithEventBuffer
+)
+
+// JobState is the job lifecycle state; JobStatus a point-in-time
+// snapshot.
+type (
+	JobState  = job.State
+	JobStatus = job.Status
+)
+
+// The job state machine's states.
+const (
+	StatePending  = job.StatePending
+	StateRunning  = job.StateRunning
+	StateDraining = job.StateDraining
+	StateDrained  = job.StateDrained
+	StateStopped  = job.StateStopped
+)
+
+// JobEvent is one typed transition on a job's Events stream; JobEventKind
+// classifies it.
+type (
+	JobEvent     = job.Event
+	JobEventKind = job.EventKind
+)
+
+// The event taxonomy (see internal/job).
+const (
+	EventStarted            = job.EventStarted
+	EventMigrationBegun     = job.EventMigrationBegun
+	EventMigrationPhase     = job.EventMigrationPhase
+	EventMigrationDone      = job.EventMigrationDone
+	EventMigrationFailed    = job.EventMigrationFailed
+	EventMigrationCanceled  = job.EventMigrationCanceled
+	EventFleetReleaseFailed = job.EventFleetReleaseFailed
+	EventCheckpointDone     = job.EventCheckpointDone
+	EventRateChanged        = job.EventRateChanged
+	EventExecutorCrashed    = job.EventExecutorCrashed
+	EventExecutorRestarted  = job.EventExecutorRestarted
+	EventDrained            = job.EventDrained
+	EventDrainCanceled      = job.EventDrainCanceled
+	EventResumed            = job.EventResumed
+	EventStopped            = job.EventStopped
+)
+
+// Typed control-plane errors.
+var (
+	ErrBusy         = job.ErrBusy
+	ErrStopped      = job.ErrStopped
+	ErrNotRunning   = job.ErrNotRunning
+	ErrStrategyMode = job.ErrStrategyMode
+)
+
+// MigrationPhase labels one engine-level transition inside a migration
+// enactment, carried by EventMigrationPhase events.
+type MigrationPhase = runtime.MigrationPhase
+
+// The migration phases, in order (DSM skips the drain).
+const (
+	PhaseRequested      = runtime.PhaseRequested
+	PhaseDrainEnd       = runtime.PhaseDrainEnd
+	PhaseRebalanceStart = runtime.PhaseRebalanceStart
+	PhaseRebalanceEnd   = runtime.PhaseRebalanceEnd
 )
 
 // --- topology construction -------------------------------------------------
@@ -95,6 +202,10 @@ var (
 // DAGByName resolves a benchmark dataflow by name.
 var DAGByName = dataflows.ByName
 
+// SpecOf derives Table-1-style deployment sizing for a user-built
+// topology so it can be submitted to the Job control plane.
+var SpecOf = dataflows.SpecOf
+
 // --- cluster and scheduling --------------------------------------------------
 
 // Cluster models the elastic VM pool; VMType a provisionable flavor;
@@ -134,13 +245,18 @@ var ScheduleDiff = scheduler.Diff
 
 // --- engine -------------------------------------------------------------------
 
-// Engine executes a dataflow; Config carries its protocol constants;
-// Params configures construction.
+// Engine executes a dataflow; Config carries its protocol constants.
 type (
 	Engine = runtime.Engine
 	Config = runtime.Config
-	Params = runtime.Params
 )
+
+// Params configures manual engine construction.
+//
+// Deprecated: Submit deploys the engine, cluster and placement in one
+// call and returns a Job handle with serialized control; build Params
+// only when the deployment itself is under test.
+type Params = runtime.Params
 
 // Mode selects which strategy machinery the engine is provisioned with.
 type Mode = runtime.Mode
@@ -153,6 +269,9 @@ const (
 )
 
 // NewEngine builds an engine from Params.
+//
+// Deprecated: use Submit, which wraps the engine in a Job handle with
+// lifecycle, live operations, events and serialized control.
 var NewEngine = runtime.New
 
 // DefaultConfig returns the paper's experiment configuration for a mode.
@@ -230,8 +349,14 @@ const (
 	ScaleOut = experiments.ScaleOut
 )
 
-// RunScenario executes one scenario end to end.
+// RunScenario executes one scenario end to end (on the Job control
+// plane under the hood).
 var RunScenario = experiments.Run
+
+// RunScenarioContext is RunScenario under a context: cancellation drains
+// the dataflow gracefully and returns the partial Result with Canceled
+// set.
+var RunScenarioContext = experiments.RunContext
 
 // NewSuite returns a memoizing evaluation matrix runner.
 var NewSuite = experiments.NewSuite
@@ -291,5 +416,20 @@ type (
 // RunAutoscaleScenario executes one autoscale cell end to end.
 var RunAutoscaleScenario = experiments.RunAutoscale
 
+// RunAutoscaleScenarioContext is RunAutoscaleScenario under a context.
+var RunAutoscaleScenarioContext = experiments.RunAutoscaleContext
+
 // AutoscaleComparison renders the policy × strategy comparison table.
 var AutoscaleComparison = experiments.AutoscaleComparison
+
+// AutoscaleMigrateFunc routes autoscale enactments through an external
+// control plane; JobControl adapts a Job handle to it so loop enactments
+// serialize with operator-initiated operations. ErrEnactmentRejected
+// marks an enactment the control plane refused before anything moved.
+type AutoscaleMigrateFunc = autoscale.MigrateFunc
+
+// JobControl adapts a Job to the Enactor's Control hook.
+var JobControl = autoscale.JobControl
+
+// ErrEnactmentRejected marks a control-plane-refused enactment.
+var ErrEnactmentRejected = autoscale.ErrRejected
