@@ -9,6 +9,7 @@
 //	elastic-bench -figure 5a             # Fig. 5a only
 //	elastic-bench -figure table1,m2      # comma-separated subsets
 //	elastic-bench -figure autoscale      # closed-loop elasticity comparison
+//	elastic-bench -figure chaos          # phase×strategy crash matrix audit
 //	elastic-bench -scale 0.02            # time compression (0.02 = 50x)
 //
 // Runs execute in compressed paper time; all reported numbers are paper
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("elastic-bench", flag.ContinueOnError)
-	figures := fs.String("figure", "all", "comma-separated artifacts: table1,5a,5b,6,7,8,9,m1,m2,m3,a1,a2,a3,reliability,autoscale,all")
+	figures := fs.String("figure", "all", "comma-separated artifacts: table1,5a,5b,6,7,8,9,m1,m2,m3,a1,a2,a3,reliability,autoscale,chaos,all")
 	scale := fs.Float64("scale", 0.02, "time compression factor (0.02 = 50x faster than the testbed)")
 	pre := fs.Duration("pre", 60*time.Second, "steady-state warmup before the migration request (paper time)")
 	post := fs.Duration("post", 420*time.Second, "maximum horizon after the migration request (paper time)")
@@ -87,6 +89,9 @@ func run(args []string) error {
 		{"a3", suite.A3CheckpointFreshness},
 		{"reliability", suite.ReliabilityReport},
 		{"autoscale", func() (string, error) { return experiments.AutoscaleComparison(*scale, *seed) }},
+		{"chaos", func() (string, error) {
+			return experiments.RunChaos(context.Background(), experiments.ChaosConfig{Seed: *seed, TimeScale: *scale})
+		}},
 	}
 
 	ran := 0

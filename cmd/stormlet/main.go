@@ -7,6 +7,12 @@
 // elasticity controller (internal/autoscale) under a ramping workload
 // and reports every scaling decision the chosen policy made.
 //
+// With -chaos it runs the phase×strategy crash matrix: every cell
+// generates an adversarial workload (skewed keys, bursty ramps, random
+// DAGs, jitter, partitions), crashes an executor at exactly the cell's
+// migration phase, and audits zero loss / zero duplicates plus the
+// per-migration generation accounting.
+//
 // Runs ride on the Job control plane, so an interrupt (SIGINT/Ctrl-C)
 // does not kill the dataflow mid-flight: an in-flight migration unwinds,
 // the dataflow drains gracefully, and the partial metrics are printed.
@@ -16,6 +22,7 @@
 //	stormlet -dag grid -strategy CCR -direction in
 //	stormlet -dag linear -strategy DSM -direction out -scale 0.05
 //	stormlet -dag diamond -strategy CCR -autoscale -policy queue
+//	stormlet -chaos -chaos.seed 7 -scale 0.05
 package main
 
 import (
@@ -71,6 +78,9 @@ func runContext(ctx context.Context, args []string) error {
 	csvPath := fs.String("csv", "", "write the run's timelines as CSV files with this prefix")
 	doAutoscale := fs.Bool("autoscale", false, "run the closed elasticity loop under a ramping workload instead of a single migration (uses -dag, -strategy, -policy, -scale, -seed; the other flags do not apply)")
 	policy := fs.String("policy", "util-band", "autoscale policy: util-band, queue, latency-slo")
+	doChaos := fs.Bool("chaos", false, "run the phase×strategy crash matrix under adversarial generated workloads instead of a single migration (uses -chaos.seed, -scale, -full; the other flags do not apply)")
+	chaosSeed := fs.Int64("chaos.seed", 1, "seed for the chaos matrix; a failing cell reports it for replay")
+	full := fs.Bool("full", false, "with -chaos: enact the out-then-in double migration per cell")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -78,6 +88,9 @@ func runContext(ctx context.Context, args []string) error {
 		return errUsage // flag already printed the problem and usage
 	}
 
+	if *doChaos {
+		return runChaos(ctx, *chaosSeed, *scale, *full)
+	}
 	spec, err := dataflows.ByName(*dag)
 	if err != nil {
 		return err
@@ -179,6 +192,27 @@ func runContext(ctx context.Context, args []string) error {
 		}
 	}
 	return nil
+}
+
+// runChaos drives the crash matrix: every migration phase × strategy
+// cell under a generated adversarial workload, with an executor crashed
+// at exactly the cell's phase, audited for zero loss and duplicates.
+func runChaos(ctx context.Context, seed int64, scale float64, full bool) error {
+	mode := "short (one scale-out per cell)"
+	if full {
+		mode = "full (out-then-in double migration per cell)"
+	}
+	fmt.Printf("Running chaos matrix, %s, seed %d (scale %.3f)...\n", mode, seed, scale)
+	start := time.Now()
+	out, err := experiments.RunChaos(ctx, experiments.ChaosConfig{
+		Seed:      seed,
+		TimeScale: scale,
+		Full:      full,
+		Progress:  func(line string) { fmt.Println("  " + line) },
+	})
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(out)
+	return err
 }
 
 // runAutoscale drives the closed elasticity loop on the chosen dataflow

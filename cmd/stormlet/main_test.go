@@ -32,6 +32,17 @@ func TestRunAutoscaleMode(t *testing.T) {
 	}
 }
 
+// TestRunChaosMode smoke-runs the crash matrix through the CLI entry
+// point at sharp compression.
+func TestRunChaosMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run; skipped in -short")
+	}
+	if err := run([]string{"-chaos", "-chaos.seed", "3", "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsUnknownInputs(t *testing.T) {
 	if err := run([]string{"-dag", "nope"}); err == nil {
 		t.Fatal("unknown DAG accepted")

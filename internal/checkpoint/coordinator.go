@@ -88,8 +88,12 @@ type WaveStats struct {
 	Failures int
 }
 
-// Coordinator runs checkpoint waves. Safe for concurrent use, though
-// strategies run waves one at a time.
+// Coordinator runs checkpoint waves. Safe for concurrent use: strategies
+// run their waves one at a time, but a periodic checkpoint tick can race
+// a migration's Suspend and leave its doomed wave in flight while the
+// migration drives INIT — so active waves are tracked per wave id and
+// acknowledged independently. A wave only ever completes or times out on
+// its own terms; a concurrent wave can neither steal nor drop its acks.
 type Coordinator struct {
 	clock     timex.Clock
 	transport Transport
@@ -97,7 +101,7 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	waveSeq uint64
-	active  *waveState
+	active  map[uint64]*waveState
 	closed  bool
 
 	stats WaveStats
@@ -122,6 +126,7 @@ func NewCoordinator(clock timex.Clock, transport Transport, idgen *tuple.IDGen) 
 		clock:     clock,
 		transport: transport,
 		idgen:     idgen,
+		active:    make(map[uint64]*waveState),
 		stats:     WaveStats{Waves: make(map[string]int)},
 	}
 }
@@ -150,11 +155,12 @@ func (c *Coordinator) RunWave(kind tuple.Kind, delivery Delivery, resend, maxWai
 	for _, k := range c.transport.ExpectedAckers() {
 		ws.expected[k] = struct{}{}
 	}
-	c.active = ws
+	c.active[ws.wave] = ws
 	c.stats.Waves[kind.String()]++
 	c.mu.Unlock()
 
 	if len(ws.expected) == 0 {
+		c.finishWave(ws, true)
 		return nil
 	}
 
@@ -221,20 +227,22 @@ func (c *Coordinator) ackedCount(ws *waveState) int {
 func (c *Coordinator) finishWave(ws *waveState, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.active == ws {
-		c.active = nil
+	if c.active[ws.wave] == ws {
+		delete(c.active, ws.wave)
 	}
 	if !ok {
 		c.stats.Failures++
 	}
 }
 
-// Ack records instance's acknowledgment of the given wave. Acks for stale
-// waves or duplicate acks are ignored (resent INITs produce duplicates).
+// Ack records instance's acknowledgment of the given wave. Acks for
+// finished waves or duplicate acks are ignored (resent INITs produce
+// duplicates). Acks route to their wave by id, so an ack for a wave that
+// is still in flight lands even if other waves started after it.
 func (c *Coordinator) Ack(instanceKey string, wave uint64) {
 	c.mu.Lock()
-	ws := c.active
-	if ws == nil || ws.wave != wave {
+	ws := c.active[wave]
+	if ws == nil {
 		c.mu.Unlock()
 		return
 	}
@@ -249,7 +257,7 @@ func (c *Coordinator) Ack(instanceKey string, wave uint64) {
 	ws.acked[instanceKey] = struct{}{}
 	complete := len(ws.acked) == len(ws.expected)
 	if complete {
-		c.active = nil
+		delete(c.active, wave)
 	}
 	c.mu.Unlock()
 	if complete {
@@ -277,9 +285,11 @@ func (c *Coordinator) Checkpoint(prepareDelivery Delivery, ackTimeout time.Durat
 }
 
 // StartPeriodic begins DSM-style periodic checkpointing every interval
-// (Storm's default is 30 s). Waves overlap neither each other nor
-// migration-initiated waves: while a wave is active or the coordinator is
-// suspended, the tick is skipped. Call StopPeriodic to halt.
+// (Storm's default is 30 s). While a wave is active or the coordinator is
+// suspended, the tick is skipped. The skip is best-effort — a tick can
+// pass the check just as a migration calls Suspend and begins its own
+// waves; per-wave ack routing keeps such an overlap harmless (each wave
+// completes or times out independently). Call StopPeriodic to halt.
 func (c *Coordinator) StartPeriodic(interval, ackTimeout time.Duration) {
 	c.mu.Lock()
 	if c.periodicStop != nil || c.closed {
@@ -343,7 +353,7 @@ func (c *Coordinator) isSuspended() bool {
 func (c *Coordinator) hasActiveWave() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.active != nil
+	return len(c.active) > 0
 }
 
 // Stats returns a copy of the coordinator counters.
@@ -357,8 +367,8 @@ func (c *Coordinator) Stats() WaveStats {
 	return out
 }
 
-// Close stops periodic checkpointing and aborts any active wave. RunWave
-// callers blocked on the active wave return ErrWaveTimeout via their
+// Close stops periodic checkpointing and aborts any active waves. RunWave
+// callers blocked on an active wave return ErrWaveTimeout via their
 // maxWait, or hang on resend forever otherwise — strategies always pass a
 // maxWait, and the engine closes the coordinator only after strategies
 // finish.
@@ -367,8 +377,6 @@ func (c *Coordinator) Close() {
 	c.periodicWG.Wait()
 	c.mu.Lock()
 	c.closed = true
-	ws := c.active
-	c.active = nil
+	c.active = make(map[uint64]*waveState)
 	c.mu.Unlock()
-	_ = ws
 }

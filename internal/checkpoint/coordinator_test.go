@@ -299,6 +299,71 @@ func TestSuspendSkipsPeriodicTicks(t *testing.T) {
 	}
 }
 
+// TestConcurrentWavesAckIndependently pins the periodic-vs-migration
+// overlap: a periodic tick can pass the Suspend/active checks just as a
+// migration starts, strand a PREPARE wave whose targets the rebalance
+// kills, and — when that wave times out — fire a ROLLBACK while the
+// migration's INIT wave is mid-flight. The INIT wave's acks must still
+// route to it; with a single active-wave slot the rollback clobbered the
+// INIT state and DSM's recovery timed out at 0/N acked.
+func TestConcurrentWavesAckIndependently(t *testing.T) {
+	c, tr, clock := newCoordFixture("A[0]", "B[0]")
+	tr.setAuto("A[0]", false)
+	tr.setAuto("B[0]", false) // nobody acks on receipt: waves stay in flight
+
+	// The stranded periodic checkpoint: PREPARE will time out, then
+	// roll back.
+	periodicErr := make(chan error, 1)
+	go func() { periodicErr <- c.Checkpoint(Sequential, 10*time.Second) }()
+	waitPending(t, clock)
+
+	// The migration's INIT wave starts while the PREPARE is active.
+	initErr := make(chan error, 1)
+	go func() { initErr <- c.RunWave(tuple.Init, Sequential, 0, 5*time.Minute) }()
+	for {
+		if st := c.Stats(); st.Waves["INIT"] == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// PREPARE (wave 1) times out; its ROLLBACK (wave 3) goes out while
+	// INIT (wave 2) is still waiting on its ackers.
+	clock.Advance(11 * time.Second)
+	for {
+		if st := c.Stats(); st.Waves["ROLLBACK"] == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The respawned workers ack the INIT wave. Before per-wave ack
+	// routing these were dropped (the rollback had replaced the single
+	// active wave) and the INIT could never complete.
+	c.Ack("A[0]", 2)
+	c.Ack("B[0]", 2)
+	select {
+	case err := <-initErr:
+		if err != nil {
+			t.Fatalf("INIT wave: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("INIT wave never completed: acks dropped during concurrent rollback")
+	}
+
+	// Let the rollback wave time out too so Checkpoint returns.
+	waitPending(t, clock)
+	clock.Advance(11 * time.Second)
+	select {
+	case err := <-periodicErr:
+		if err == nil || !strings.Contains(err.Error(), "rolled back") {
+			t.Fatalf("stranded checkpoint err = %v, want rolled-back prepare failure", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stranded Checkpoint never returned")
+	}
+}
+
 func TestClosedCoordinatorRejectsWaves(t *testing.T) {
 	c, _, _ := newCoordFixture("A[0]")
 	c.Close()

@@ -1,11 +1,21 @@
 package cluster
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/tuple"
+)
 
 // NetworkModel gives the one-way delivery latency between two slots. The
 // paper's testbed shares a 1 Gbps LAN; consolidation onto fewer VMs
 // reduces network hops, which is one of the motivations for scale-in
 // (§2, Fig. 1).
+//
+// The zero-valued adversarial fields (Jitter, Partitions) extend the
+// model for chaos runs: deterministic per-delivery jitter and temporary
+// cross-VM partition windows. Both are pure functions of the model's
+// fields and the delivery's (seq, elapsed) coordinates, so a seeded run
+// replays identically.
 type NetworkModel struct {
 	// SameSlot is the latency between tasks sharing one slot (in-process
 	// queue handoff).
@@ -14,6 +24,29 @@ type NetworkModel struct {
 	IntraVM time.Duration
 	// InterVM is the latency between different VMs (LAN hop).
 	InterVM time.Duration
+
+	// Jitter, when positive, adds a deterministic extra delay in
+	// [0, Jitter) to every cross-slot delivery, derived from JitterSeed
+	// and the delivery sequence number. Per-link FIFO is preserved by the
+	// fabric's monotone deadline clamp, exactly as for placement-driven
+	// latency drops.
+	Jitter time.Duration
+	// JitterSeed seeds the per-delivery jitter hash.
+	JitterSeed uint64
+	// Partitions lists temporary cross-VM partition windows. A delivery
+	// crossing an active partition is not dropped — TCP retransmits — but
+	// completes only after the window heals.
+	Partitions []Partition
+}
+
+// Partition is one temporary network partition window, expressed in
+// elapsed run time (paper time since the fabric started).
+type Partition struct {
+	// VM isolates one VM from the rest of the cluster; empty isolates
+	// every VM from every other (all cross-VM links stall).
+	VM string
+	// From and Until bound the window: active when From <= elapsed < Until.
+	From, Until time.Duration
 }
 
 // DefaultNetwork approximates the paper's Azure LAN: microseconds in
@@ -26,7 +59,8 @@ func DefaultNetwork() NetworkModel {
 	}
 }
 
-// Latency returns the one-way delivery latency from slot a to slot b.
+// Latency returns the one-way base delivery latency from slot a to slot
+// b, without adversarial effects.
 func (n NetworkModel) Latency(a, b SlotRef) time.Duration {
 	switch {
 	case a == b:
@@ -36,4 +70,30 @@ func (n NetworkModel) Latency(a, b SlotRef) time.Duration {
 	default:
 		return n.InterVM
 	}
+}
+
+// LatencyAt returns the delivery latency from slot a to slot b for the
+// seq-th delivery at the given elapsed run time, including jitter and
+// partition stalls. It is deterministic: the same (model, a, b, seq,
+// elapsed) always yields the same latency.
+func (n NetworkModel) LatencyAt(a, b SlotRef, seq uint64, elapsed time.Duration) time.Duration {
+	lat := n.Latency(a, b)
+	if n.Jitter > 0 && a != b {
+		lat += time.Duration(tuple.Mix64(n.JitterSeed^seq) % uint64(n.Jitter))
+	}
+	if a.VM != b.VM {
+		for _, p := range n.Partitions {
+			if elapsed < p.From || elapsed >= p.Until {
+				continue
+			}
+			if p.VM != "" && p.VM != a.VM && p.VM != b.VM {
+				continue
+			}
+			// Stalled until the window heals, then one fresh LAN hop.
+			if stalled := (p.Until - elapsed) + n.InterVM; stalled > lat {
+				lat = stalled
+			}
+		}
+	}
+	return lat
 }

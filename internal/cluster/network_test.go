@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+var (
+	slotA  = SlotRef{VM: "vm-0", Slot: 0}
+	slotA1 = SlotRef{VM: "vm-0", Slot: 1}
+	slotB  = SlotRef{VM: "vm-1", Slot: 0}
+)
+
+func TestNetworkBaseLatencyTiers(t *testing.T) {
+	n := DefaultNetwork()
+	if got := n.Latency(slotA, slotA); got != n.SameSlot {
+		t.Fatalf("same-slot latency = %v", got)
+	}
+	if got := n.Latency(slotA, slotA1); got != n.IntraVM {
+		t.Fatalf("intra-VM latency = %v", got)
+	}
+	if got := n.Latency(slotA, slotB); got != n.InterVM {
+		t.Fatalf("inter-VM latency = %v", got)
+	}
+}
+
+func TestNetworkJitterDeterministicAndBounded(t *testing.T) {
+	n := DefaultNetwork()
+	n.Jitter = 2 * time.Millisecond
+	n.JitterSeed = 7
+	base := n.Latency(slotA, slotB)
+	seen := make(map[time.Duration]bool)
+	for seq := uint64(0); seq < 1000; seq++ {
+		lat := n.LatencyAt(slotA, slotB, seq, 0)
+		if lat < base || lat >= base+n.Jitter {
+			t.Fatalf("seq %d: latency %v outside [%v, %v)", seq, lat, base, base+n.Jitter)
+		}
+		if again := n.LatencyAt(slotA, slotB, seq, 0); again != lat {
+			t.Fatalf("seq %d: jitter not deterministic: %v then %v", seq, lat, again)
+		}
+		seen[lat] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("jitter produced only %d distinct latencies over 1000 deliveries", len(seen))
+	}
+	// A different seed yields a different jitter sequence.
+	m := n
+	m.JitterSeed = 8
+	diff := 0
+	for seq := uint64(0); seq < 100; seq++ {
+		if m.LatencyAt(slotA, slotB, seq, 0) != n.LatencyAt(slotA, slotB, seq, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing JitterSeed did not change the jitter sequence")
+	}
+}
+
+func TestNetworkJitterSkipsSameSlot(t *testing.T) {
+	n := DefaultNetwork()
+	n.Jitter = 2 * time.Millisecond
+	for seq := uint64(0); seq < 100; seq++ {
+		if got := n.LatencyAt(slotA, slotA, seq, 0); got != n.SameSlot {
+			t.Fatalf("same-slot delivery jittered: %v", got)
+		}
+	}
+}
+
+func TestNetworkPartitionWindow(t *testing.T) {
+	n := DefaultNetwork()
+	n.Partitions = []Partition{{From: 10 * time.Second, Until: 15 * time.Second}}
+
+	// Outside the window: base latency.
+	if got := n.LatencyAt(slotA, slotB, 1, 5*time.Second); got != n.InterVM {
+		t.Fatalf("pre-window latency = %v", got)
+	}
+	if got := n.LatencyAt(slotA, slotB, 1, 15*time.Second); got != n.InterVM {
+		t.Fatalf("post-window latency = %v", got)
+	}
+	// Inside: stalled until heal plus one LAN hop.
+	want := 3*time.Second + n.InterVM
+	if got := n.LatencyAt(slotA, slotB, 1, 12*time.Second); got != want {
+		t.Fatalf("in-window latency = %v, want %v", got, want)
+	}
+	// Intra-VM traffic is unaffected by a partition.
+	if got := n.LatencyAt(slotA, slotA1, 1, 12*time.Second); got != n.IntraVM {
+		t.Fatalf("intra-VM latency during partition = %v", got)
+	}
+}
+
+func TestNetworkPartitionVMScoped(t *testing.T) {
+	n := DefaultNetwork()
+	n.Partitions = []Partition{{VM: "vm-9", From: 0, Until: 10 * time.Second}}
+	// Links not touching the isolated VM are unaffected.
+	if got := n.LatencyAt(slotA, slotB, 1, 5*time.Second); got != n.InterVM {
+		t.Fatalf("unrelated link latency = %v", got)
+	}
+	// Links into (or out of) the isolated VM stall.
+	far := SlotRef{VM: "vm-9", Slot: 0}
+	want := 5*time.Second + n.InterVM
+	if got := n.LatencyAt(slotA, far, 1, 5*time.Second); got != want {
+		t.Fatalf("isolated link latency = %v, want %v", got, want)
+	}
+	if got := n.LatencyAt(far, slotA, 1, 5*time.Second); got != want {
+		t.Fatalf("isolated reverse link latency = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+)
+
+// crashOpts compresses the operational delays so each regression run
+// stays around a second of wall time.
+func crashOpts() []Option {
+	return []Option{
+		WithTimeScale(0.05), WithSeed(5),
+		WithConfigOverrides(func(cfg *runtime.Config) {
+			cfg.RebalanceCmdTime = 2 * time.Second
+			cfg.WorkerBaseDelay = 2 * time.Second
+			cfg.WorkerStagger = 500 * time.Millisecond
+			cfg.WorkerJitter = time.Second
+		}),
+	}
+}
+
+// pickLive prefers a live inner instance and falls back to the sink
+// (always live, never migrated) — the same victim rule the chaos
+// harness uses.
+func pickLive(j *Job) topology.Instance {
+	topo := j.Spec().Topology
+	for _, in := range topo.Instances(topology.RoleInner) {
+		if j.Engine().Executor(in) != nil {
+			return in
+		}
+	}
+	return topo.Instances(topology.RoleSink)[0]
+}
+
+// TestCrashExecutorAtEveryPhaseNoDeadlock is the regression for the
+// chaos harness's injection pattern: CrashExecutor+RestartExecutor
+// called synchronously from inside the OnPhase hook — on the migrating
+// goroutine, while that goroutine holds the control token — must never
+// deadlock the enactment. Each phase of a DCR migration is exercised
+// under a wall-clock watchdog, and the control token must be free again
+// afterwards.
+func TestCrashExecutorAtEveryPhaseNoDeadlock(t *testing.T) {
+	phases := []runtime.MigrationPhase{
+		runtime.PhaseRequested,
+		runtime.PhaseDrainEnd,
+		runtime.PhaseRebalanceStart,
+		runtime.PhaseRebalanceEnd,
+	}
+	for _, phase := range phases {
+		phase := phase
+		t.Run(string(phase), func(t *testing.T) {
+			j, err := Submit(context.Background(), dataflows.Linear(), crashOpts()...)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			defer j.Stop()
+			fired := make(chan topology.Instance, 1)
+			j.OnPhase(func(p runtime.MigrationPhase) {
+				if p != phase {
+					return
+				}
+				select {
+				case fired <- func() topology.Instance {
+					victim := pickLive(j)
+					j.CrashExecutor(victim)
+					j.RestartExecutor(victim)
+					return victim
+				}():
+				default: // only the first matching phase injects
+				}
+			})
+			if err := j.Start(); err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			j.Clock().Sleep(10 * time.Second)
+
+			done := make(chan error, 1)
+			go func() { done <- j.ScaleWith(context.Background(), ScaleOut, core.DCR{}) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("ScaleWith with crash at %s: %v", phase, err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatalf("ScaleWith deadlocked with crash at %s", phase)
+			}
+			select {
+			case <-fired:
+			default:
+				t.Fatalf("crash hook never fired at %s", phase)
+			}
+			// The control token must be free: the next control operation
+			// may not fail fast with ErrBusy (a leaked token would).
+			if err := j.Checkpoint(context.Background()); errors.Is(err, ErrBusy) {
+				t.Fatalf("control token still held after crash at %s: %v", phase, err)
+			}
+		})
+	}
+}
+
+// TestCrashExecutorDuringDrainNoDeadlock crashes and restarts an
+// executor while Drain holds the control token and polls for
+// quiescence. The kill discards queued events (Drain makes no loss
+// promise mid-crash — it is a shutdown barrier, not a migration), but
+// the drain must still converge: the respawned executor re-registers,
+// PendingRespawns returns to zero, and the token is released.
+func TestCrashExecutorDuringDrainNoDeadlock(t *testing.T) {
+	j, err := Submit(context.Background(), dataflows.Linear(), crashOpts()...)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer j.Stop()
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	clock := j.Clock()
+	clock.Sleep(10 * time.Second)
+
+	done := make(chan error, 1)
+	go func() { done <- j.Drain(context.Background()) }()
+	// Let Drain take the token and pause the sources, then crash an
+	// executor under it.
+	clock.Sleep(2 * time.Second)
+	victim := pickLive(j)
+	if !j.CrashExecutor(victim) {
+		t.Fatalf("victim %s was not running", victim)
+	}
+	j.RestartExecutor(victim)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Drain with mid-drain crash: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Drain deadlocked after mid-drain crash")
+	}
+	if err := j.Resume(); err != nil {
+		t.Fatalf("Resume after drained: %v", err)
+	}
+	if err := j.Checkpoint(context.Background()); errors.Is(err, ErrBusy) {
+		t.Fatalf("control token still held after mid-drain crash: %v", err)
+	}
+}

@@ -144,6 +144,9 @@ type Job struct {
 	subs       []chan Event
 	subsClosed bool
 	dropped    atomic.Uint64
+
+	phaseMu  sync.Mutex
+	phaseFns []func(runtime.MigrationPhase)
 }
 
 // Submit deploys a dataflow and returns its Job handle. The deployment
@@ -259,6 +262,7 @@ func Submit(ctx context.Context, spec dataflows.Spec, opts ...Option) (*Job, err
 	}
 	j.state.Store(int32(StatePending))
 	eng.SetPhaseHook(func(p runtime.MigrationPhase) {
+		j.notifyPhase(p)
 		j.emit(Event{Kind: EventMigrationPhase, Phase: p})
 	})
 	if ctx.Done() != nil {
@@ -652,6 +656,34 @@ func (j *Job) CrashExecutor(inst topology.Instance) bool {
 func (j *Job) RestartExecutor(inst topology.Instance) {
 	j.eng.RestartExecutor(inst)
 	j.emit(Event{Kind: EventExecutorRestarted, Instance: inst})
+}
+
+// OnPhase registers a callback invoked synchronously on every migration
+// phase transition, on the migrating goroutine and before the phase's
+// event is published. Unlike the Events stream there is no buffer to
+// overflow, so a callback observes every phase — the hook chaos testing
+// uses to crash an executor at an exact point inside an enactment.
+// Callbacks must not block and must not take the control token
+// (CrashExecutor and RestartExecutor are safe; Migrate would deadlock).
+// Callbacks cannot be removed; register on a fresh job per run.
+func (j *Job) OnPhase(f func(runtime.MigrationPhase)) {
+	if f == nil {
+		return
+	}
+	j.phaseMu.Lock()
+	j.phaseFns = append(j.phaseFns, f)
+	j.phaseMu.Unlock()
+}
+
+// notifyPhase invokes the OnPhase callbacks in registration order.
+func (j *Job) notifyPhase(p runtime.MigrationPhase) {
+	j.phaseMu.Lock()
+	fns := make([]func(runtime.MigrationPhase), len(j.phaseFns))
+	copy(fns, j.phaseFns)
+	j.phaseMu.Unlock()
+	for _, f := range fns {
+		f(p)
+	}
 }
 
 // --- observability --------------------------------------------------------

@@ -80,9 +80,30 @@ func TestMultiMigrationGridZeroLoss(t *testing.T) {
 	if rep := eng.Collector().ReplayedCount(); rep != 0 {
 		t.Fatalf("%d replayed events (JIT strategies replay nothing)", rep)
 	}
-	// No boundary assertion: the audit stamps PreMigration against the
-	// first migration request only, and CCR (leg 1) does not promise a
-	// strict old/new cut — only DCR does (§3.2).
+	// Per-generation accounting: one generation per migration request
+	// plus the pre-migration epoch, and the generations partition the
+	// emit total exactly — no root is double-counted or unattributed.
+	stats := eng.Audit().GenerationStats()
+	if len(stats) != 3 {
+		t.Fatalf("%d audit generations, want 3 (pre + two migrations)", len(stats))
+	}
+	sum := 0
+	for _, g := range stats {
+		if g.Emitted == 0 {
+			t.Fatalf("generation %d emitted nothing", g.Gen)
+		}
+		sum += g.Emitted
+	}
+	if total := eng.Audit().EmittedCount(); sum != total {
+		t.Fatalf("per-generation emits sum to %d, want emit total %d", sum, total)
+	}
+	// Leg 2 was DCR: its drain promises a strict old/new cut — no root
+	// from generations 0-1 may trail in after generation 2's first
+	// arrival. Leg 1 was CCR, which never promised one (§3.2), so
+	// generation 1 is deliberately unasserted.
+	if v := eng.Audit().BoundaryViolationsFor(2); v != 0 {
+		t.Fatalf("%d boundary violations on the DCR leg", v)
+	}
 	if st := j.Status(); st.Migrations != 2 {
 		t.Fatalf("Status.Migrations = %d, want 2", st.Migrations)
 	}

@@ -9,20 +9,22 @@ import (
 	"repro/internal/workload"
 )
 
-func sinkEvent(seq int64, pre bool) *tuple.Event {
+// sinkEvent builds a sink arrival of payload seq emitted in migration
+// generation gen (0 = before the first request).
+func sinkEvent(seq int64, gen uint64) *tuple.Event {
 	return &tuple.Event{
 		ID: tuple.ID(seq + 1), Root: tuple.ID(seq + 1), Kind: tuple.Data,
-		Value: workload.Payload{Seq: seq}, PreMigration: pre,
+		Value: workload.Payload{Seq: seq}, PreMigration: gen == 0, Gen: gen,
 	}
 }
 
 func TestAuditLostDetection(t *testing.T) {
 	a := NewAudit()
 	t0 := timex.Epoch
-	a.RecordEmit(1, t0)
-	a.RecordEmit(2, t0)
-	a.RecordEmit(3, t0.Add(100*time.Second)) // late emit, beyond cutoff
-	a.RecordSink(sinkEvent(1, true), t0.Add(time.Second))
+	a.RecordEmit(1, 0, t0)
+	a.RecordEmit(2, 0, t0)
+	a.RecordEmit(3, 0, t0.Add(100*time.Second)) // late emit, beyond cutoff
+	a.RecordSink(sinkEvent(1, 0), t0.Add(time.Second))
 
 	lost := a.Lost(t0.Add(10 * time.Second))
 	if len(lost) != 1 || lost[0] != 2 {
@@ -33,13 +35,16 @@ func TestAuditLostDetection(t *testing.T) {
 func TestAuditReplayDoesNotReRecordEmit(t *testing.T) {
 	a := NewAudit()
 	t0 := timex.Epoch
-	a.RecordEmit(5, t0)
-	a.RecordEmit(5, t0.Add(30*time.Second)) // replay of the same payload
+	a.RecordEmit(5, 0, t0)
+	a.RecordEmit(5, 1, t0.Add(30*time.Second)) // replay of the same payload
 	if a.EmittedCount() != 1 {
 		t.Fatalf("EmittedCount = %d, want 1", a.EmittedCount())
 	}
-	// First-emit time governs the cutoff.
-	a.RecordSink(sinkEvent(5, true), t0.Add(40*time.Second))
+	// First emission governs both the cutoff and the generation.
+	if stats := a.GenerationStats(); stats[0].Emitted != 1 {
+		t.Fatalf("GenerationStats = %+v, want payload counted in gen 0", stats)
+	}
+	a.RecordSink(sinkEvent(5, 0), t0.Add(40*time.Second))
 	if lost := a.Lost(t0.Add(50 * time.Second)); len(lost) != 0 {
 		t.Fatalf("Lost = %v after arrival", lost)
 	}
@@ -48,14 +53,14 @@ func TestAuditReplayDoesNotReRecordEmit(t *testing.T) {
 func TestAuditDuplicates(t *testing.T) {
 	a := NewAudit()
 	t0 := timex.Epoch
-	a.RecordEmit(1, t0)
+	a.RecordEmit(1, 0, t0)
 	for i := 0; i < 4; i++ {
-		a.RecordSink(sinkEvent(1, true), t0.Add(time.Second))
+		a.RecordSink(sinkEvent(1, 0), t0.Add(time.Second))
 	}
 	if d := a.Duplicates(4); d != 0 {
 		t.Fatalf("Duplicates(4) = %d for exactly-fanout arrivals", d)
 	}
-	a.RecordSink(sinkEvent(1, true), t0.Add(2*time.Second))
+	a.RecordSink(sinkEvent(1, 0), t0.Add(2*time.Second))
 	if d := a.Duplicates(4); d != 1 {
 		t.Fatalf("Duplicates(4) = %d after extra copy", d)
 	}
@@ -66,18 +71,74 @@ func TestAuditDuplicates(t *testing.T) {
 
 func TestAuditBoundaryViolations(t *testing.T) {
 	a := NewAudit()
+	a.BeginGeneration(1)
 	t0 := timex.Epoch
 	// Old events before the first new event: fine.
-	a.RecordSink(sinkEvent(1, true), t0)
-	a.RecordSink(sinkEvent(2, true), t0.Add(time.Second))
+	a.RecordSink(sinkEvent(1, 0), t0)
+	a.RecordSink(sinkEvent(2, 0), t0.Add(time.Second))
 	if v := a.BoundaryViolations(); v != 0 {
 		t.Fatalf("violations = %d before any new event", v)
 	}
 	// First new event, then an old straggler: one violation.
-	a.RecordSink(sinkEvent(10, false), t0.Add(2*time.Second))
-	a.RecordSink(sinkEvent(3, true), t0.Add(3*time.Second))
+	a.RecordSink(sinkEvent(10, 1), t0.Add(2*time.Second))
+	a.RecordSink(sinkEvent(3, 0), t0.Add(3*time.Second))
 	if v := a.BoundaryViolations(); v != 1 {
 		t.Fatalf("violations = %d, want 1", v)
+	}
+	if v := a.BoundaryViolationsFor(1); v != 1 {
+		t.Fatalf("BoundaryViolationsFor(1) = %d, want 1", v)
+	}
+}
+
+// TestAuditPerGenerationBoundaries is the multi-migration case the old
+// PreMigration bool could not express: each enactment keeps its own
+// boundary, and a straggler violates exactly the generations whose
+// boundary it crosses.
+func TestAuditPerGenerationBoundaries(t *testing.T) {
+	a := NewAudit()
+	t0 := timex.Epoch
+	a.RecordEmit(1, 0, t0)
+	a.BeginGeneration(1)
+	a.RecordEmit(2, 1, t0.Add(time.Second))
+	a.BeginGeneration(2)
+	a.RecordEmit(3, 2, t0.Add(2*time.Second))
+
+	// Clean interleaving: each generation's payloads arrive in order.
+	a.RecordSink(sinkEvent(1, 0), t0.Add(3*time.Second))
+	a.RecordSink(sinkEvent(2, 1), t0.Add(4*time.Second))
+	a.RecordSink(sinkEvent(3, 2), t0.Add(5*time.Second))
+	if v := a.BoundaryViolations(); v != 0 {
+		t.Fatalf("violations = %d for in-order arrivals", v)
+	}
+
+	// A gen-1 straggler after gen 2's first arrival violates migration 2's
+	// boundary but not migration 1's (gen 1 is "new" for migration 1).
+	a.RecordEmit(4, 1, t0.Add(time.Second))
+	a.RecordSink(sinkEvent(4, 1), t0.Add(6*time.Second))
+	if v := a.BoundaryViolationsFor(1); v != 0 {
+		t.Fatalf("migration 1 violations = %d, want 0", v)
+	}
+	if v := a.BoundaryViolationsFor(2); v != 1 {
+		t.Fatalf("migration 2 violations = %d, want 1", v)
+	}
+	if v := a.BoundaryViolations(); v != 1 {
+		t.Fatalf("total violations = %d, want 1", v)
+	}
+
+	// Per-generation emit counts sum to the total.
+	stats := a.GenerationStats()
+	if len(stats) != 3 {
+		t.Fatalf("GenerationStats len = %d, want 3", len(stats))
+	}
+	sum := 0
+	for _, s := range stats {
+		sum += s.Emitted
+	}
+	if sum != a.EmittedCount() {
+		t.Fatalf("generation emits sum %d != EmittedCount %d", sum, a.EmittedCount())
+	}
+	if stats[1].Emitted != 2 || stats[2].Emitted != 1 {
+		t.Fatalf("per-gen emits = %+v", stats)
 	}
 }
 

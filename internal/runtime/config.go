@@ -129,6 +129,13 @@ type Config struct {
 	// WorkerJitter adds uniform random startup noise in [0, WorkerJitter).
 	WorkerJitter time.Duration
 
+	// KeySelector, when set, derives each root event's routing key from
+	// its payload sequence number instead of the default uniform hash —
+	// the hook adversarial workloads use to inject key skew and hot
+	// partitions. It must be a pure function of the sequence number
+	// (replayed payloads re-derive their key) and safe for concurrent use.
+	KeySelector func(seq int64) uint64
+
 	// Seed drives all randomness (jitter, key hashing) for reproducible
 	// runs.
 	Seed int64

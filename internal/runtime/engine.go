@@ -77,8 +77,11 @@ type Engine struct {
 	firstLayer    []topology.Instance
 	statefulInsts []topology.Instance
 
-	migration atomic.Bool
-	stopping  atomic.Bool   // Stop in progress: its kills are discard, not loss
+	// migrationGen counts migration requests: 0 before the first, g after
+	// the g-th. Roots are stamped with it so the audit can boundary-check
+	// every enactment separately.
+	migrationGen atomic.Uint64
+	stopping     atomic.Bool   // Stop in progress: its kills are discard, not loss
 	lostKill  atomic.Int64  // data events dropped by executor kills
 	srcRate   atomic.Uint64 // live per-source rate (math.Float64bits)
 
@@ -410,12 +413,17 @@ func (e *Engine) SourcePendingCached() int {
 // --- migration operations ------------------------------------------------
 
 // OnMigrationRequested marks the user's migration request: the metrics
-// epoch and the event PreMigration boundary.
+// epoch, the event PreMigration boundary, and a fresh audit generation.
 func (e *Engine) OnMigrationRequested() {
 	e.collector.MarkMigrationRequested()
-	e.migration.Store(true)
+	gen := e.migrationGen.Add(1)
+	e.audit.BeginGeneration(gen)
 	e.notePhase(PhaseRequested)
 }
+
+// MigrationGen reports how many migrations have been requested so far —
+// the generation stamped onto roots emitted from now on.
+func (e *Engine) MigrationGen() uint64 { return e.migrationGen.Load() }
 
 // MarkDrainEnd records the end of the drain/capture phase (the JIT
 // checkpoint committed) and reports it to the phase hook. Strategies call
@@ -426,7 +434,7 @@ func (e *Engine) MarkDrainEnd() {
 	e.notePhase(PhaseDrainEnd)
 }
 
-func (e *Engine) migrationRequested() bool { return e.migration.Load() }
+func (e *Engine) migrationRequested() bool { return e.migrationGen.Load() > 0 }
 
 // PauseSources stops all sources from emitting (their generators keep
 // accumulating backlog).

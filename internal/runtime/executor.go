@@ -113,12 +113,14 @@ type savedEvent struct {
 	RootEmit     time.Time
 	Replayed     bool
 	PreMigration bool
+	Gen          uint64
 }
 
 func toSaved(ev *tuple.Event) savedEvent {
 	return savedEvent{
 		ID: ev.ID, Root: ev.Root, Key: ev.Key, Value: ev.Value,
 		RootEmit: ev.RootEmit, Replayed: ev.Replayed, PreMigration: ev.PreMigration,
+		Gen: ev.Gen,
 	}
 }
 
@@ -127,6 +129,7 @@ func (s savedEvent) restore(srcTask string, srcInstance int) *tuple.Event {
 		ID: s.ID, Root: s.Root, Kind: tuple.Data, Key: s.Key, Value: s.Value,
 		SrcTask: srcTask, SrcInstance: srcInstance,
 		RootEmit: s.RootEmit, Replayed: s.Replayed, PreMigration: s.PreMigration,
+		Gen: s.Gen,
 	}
 }
 

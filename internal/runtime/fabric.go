@@ -57,6 +57,12 @@ type fabric struct {
 	seed   maphash.Seed
 	wg     sync.WaitGroup
 
+	// start anchors the elapsed-run-time coordinate of the network
+	// model's partition windows; sendSeq numbers deliveries for its
+	// deterministic per-delivery jitter.
+	start   time.Time
+	sendSeq atomic.Uint64
+
 	// dropped counts events lost at delivery (down executor or closed
 	// fabric); with acking on, these are exactly the events the acker
 	// later replays.
@@ -123,6 +129,7 @@ func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, slotO
 		deliver:    deliver,
 		shards:     make([]*fabShard, shards),
 		seed:       maphash.MakeSeed(),
+		start:      clock.Now(),
 	}
 	for i := range f.shards {
 		sh := &fabShard{
@@ -156,8 +163,9 @@ func (f *fabric) shardOf(key linkKey) *fabShard {
 // the one-way latency between their current slots. Sending concurrently
 // with Close is safe: the event is dropped and counted.
 func (f *fabric) Send(fromKey string, to topology.Instance, ev *tuple.Event) {
-	lat := f.net.Latency(f.slotOf(fromKey), f.slotOfInst(to))
-	deliverAt := f.clock.Now().Add(lat)
+	now := f.clock.Now()
+	lat := f.net.LatencyAt(f.slotOf(fromKey), f.slotOfInst(to), f.sendSeq.Add(1), now.Sub(f.start))
+	deliverAt := now.Add(lat)
 	key := linkKey{from: fromKey, to: to}
 	sh := f.shardOf(key)
 

@@ -230,6 +230,100 @@ func TestFabricFIFOStress(t *testing.T) {
 	}
 }
 
+// TestFabricFIFOStressUnderJitter repeats the FIFO stress with
+// deterministic per-delivery network jitter on top of the flipping
+// placement: consecutive sends on one link can now differ by up to the
+// full jitter amplitude in either direction, which is exactly the
+// reordering pressure the monotone clamp must absorb.
+func TestFabricFIFOStressUnderJitter(t *testing.T) {
+	col := newCollectingDeliver()
+	clock := timex.NewScaled(1)
+	var flip atomic.Uint64
+	slots := func(key string) cluster.SlotRef {
+		if flip.Add(1)%2 == 0 {
+			return cluster.SlotRef{VM: "vm-9", Slot: 0}
+		}
+		return cluster.SlotRef{VM: "vm-0", Slot: 0}
+	}
+	net := cluster.NetworkModel{
+		SameSlot: 0, IntraVM: time.Millisecond, InterVM: 5 * time.Millisecond,
+		Jitter: 4 * time.Millisecond, JitterSeed: 42,
+	}
+	f := newFabric(clock, net, slots, nil, col.deliver, 4)
+	defer f.Close()
+
+	const senders = 8
+	const dests = 4
+	const each = 75
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			from := string(rune('a'+s)) + "[0]"
+			for i := 1; i <= each; i++ {
+				for d := 0; d < dests; d++ {
+					to := topology.Instance{Task: "T", Index: d}
+					f.Send(from, to, &tuple.Event{ID: tuple.ID(s*1_000_000 + i), Kind: tuple.Data})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for d := 0; d < dests; d++ {
+		to := topology.Instance{Task: "T", Index: d}
+		for len(col.events(to)) < senders*each {
+			if time.Now().After(deadline) {
+				t.Fatalf("dest %d: delivered %d of %d", d, len(col.events(to)), senders*each)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		last := make(map[int]tuple.ID)
+		for _, ev := range col.events(to) {
+			s := int(ev.ID) / 1_000_000
+			if prev, ok := last[s]; ok && ev.ID <= prev {
+				t.Fatalf("dest %d: link from sender %d reordered under jitter: %d after %d", d, s, ev.ID, prev)
+			}
+			last[s] = ev.ID
+		}
+	}
+}
+
+// TestFabricPartitionStallsDelivery: a delivery sent into an active
+// cross-VM partition window is not lost — it completes after the window
+// heals, one LAN hop later.
+func TestFabricPartitionStallsDelivery(t *testing.T) {
+	col := newCollectingDeliver()
+	clock := timex.NewScaled(1)
+	slots := func(key string) cluster.SlotRef {
+		if key == "far[0]" {
+			return cluster.SlotRef{VM: "vm-9", Slot: 0}
+		}
+		return cluster.SlotRef{VM: "vm-0", Slot: 0}
+	}
+	net := cluster.NetworkModel{
+		SameSlot: 0, IntraVM: time.Millisecond, InterVM: 2 * time.Millisecond,
+		Partitions: []cluster.Partition{{From: 0, Until: 60 * time.Millisecond}},
+	}
+	f := newFabric(clock, net, slots, nil, col.deliver, 2)
+	defer f.Close()
+	to := topology.Instance{Task: "T", Index: 0}
+	start := clock.Now()
+	f.Send("far[0]", to, &tuple.Event{ID: 1, Kind: tuple.Data})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.events(to)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned delivery never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if elapsed := clock.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("partitioned delivery arrived after %v, want >= ~60ms (post-heal)", elapsed)
+	}
+}
+
 // TestFabricSendCloseRace is the regression test for the old
 // send-on-closed-channel panic: Send hammered concurrently with Close
 // must neither panic nor lose accounting — after everything settles,

@@ -46,6 +46,7 @@ type replayItem struct {
 	payload      workload.Payload
 	rootEmit     time.Time
 	preMigration bool
+	gen          uint64
 }
 
 func newSource(eng *Engine, inst topology.Instance) *Source {
@@ -115,10 +116,10 @@ func (s *Source) emitLoop() {
 		s.mu.Unlock()
 
 		if isReplay {
-			s.emitRoot(rep.payload, true, rep.rootEmit, rep.preMigration)
+			s.emitRoot(rep.payload, true, rep.rootEmit, rep.preMigration, rep.gen)
 		} else {
 			s.waitForPendingSlot() // flow control applies to new roots only
-			s.emitRoot(rep.payload, false, s.eng.clock.Now(), !s.eng.migrationRequested())
+			s.emitRoot(rep.payload, false, s.eng.clock.Now(), !s.eng.migrationRequested(), s.eng.MigrationGen())
 		}
 		if backlogged {
 			// Deadline-paced burst drain at SourceBurstRate.
@@ -155,20 +156,27 @@ func (s *Source) waitForPendingSlot() {
 }
 
 // emitRoot emits one payload as a fresh causal root and routes it to the
-// first task layer.
-func (s *Source) emitRoot(p workload.Payload, replayed bool, rootEmit time.Time, preMigration bool) {
+// first task layer. The key is a pure function of the payload sequence
+// number (the default hash, or Config.KeySelector) so a replayed payload
+// re-derives the same routing key.
+func (s *Source) emitRoot(p workload.Payload, replayed bool, rootEmit time.Time, preMigration bool, gen uint64) {
 	id := s.eng.idgen.Next()
+	key := hash64(uint64(p.Seq))
+	if sel := s.eng.cfg.KeySelector; sel != nil {
+		key = sel(p.Seq)
+	}
 	ev := &tuple.Event{
 		ID:           id,
 		Root:         id,
 		Kind:         tuple.Data,
 		SrcTask:      s.inst.Task,
 		SrcInstance:  s.inst.Index,
-		Key:          hash64(uint64(p.Seq)),
+		Key:          key,
 		Value:        p,
 		RootEmit:     rootEmit,
 		Replayed:     replayed,
 		PreMigration: preMigration,
+		Gen:          gen,
 	}
 	if s.eng.cfg.AckDataEvents() {
 		s.cacheMu.Lock()
@@ -177,7 +185,7 @@ func (s *Source) emitRoot(p workload.Payload, replayed bool, rootEmit time.Time,
 		s.eng.ack.Register(id, s.onOutcome)
 	}
 	s.rep.SourceEmit(replayed)
-	s.eng.audit.RecordEmit(p.Seq, s.eng.clock.Now())
+	s.eng.audit.RecordEmit(p.Seq, gen, s.eng.clock.Now())
 	s.eng.routeFromSource(s.inst, ev)
 	if s.eng.cfg.AckDataEvents() {
 		// The spout's own contribution to the tree: children are anchored
@@ -207,7 +215,7 @@ func (s *Source) onOutcome(root tuple.ID, outcome acker.Outcome) {
 	if s.stopped {
 		return
 	}
-	s.replays = append(s.replays, replayItem{payload: p, rootEmit: orig.RootEmit, preMigration: orig.PreMigration})
+	s.replays = append(s.replays, replayItem{payload: p, rootEmit: orig.RootEmit, preMigration: orig.PreMigration, gen: orig.Gen})
 	s.wake.Signal()
 }
 

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomConfig shapes the seeded DAG generator. The zero value is not
+// useful; start from DefaultRandomConfig or ChainConfig.
+type RandomConfig struct {
+	// MaxDepth bounds the number of inner task layers (at least 1).
+	MaxDepth int
+	// MaxWidth bounds the tasks per layer; 1 generates chains.
+	MaxWidth int
+	// MaxParallelism bounds per-task parallelism when SizeForRate is 0.
+	MaxParallelism int
+	// FieldsBias is the probability an edge uses Fields grouping instead
+	// of Shuffle — the routing mode key-skew scenarios stress.
+	FieldsBias float64
+	// SizeForRate, when positive, sizes each task's parallelism for its
+	// steady input rate at this per-source rate (ceil(rate / 8), the
+	// paper's 20%-headroom rule), so a generated DAG can actually sustain
+	// the scenario's peak rate. When 0, parallelism is drawn uniformly
+	// from [1, MaxParallelism].
+	SizeForRate float64
+	// RandomStateful makes each task stateful with probability 1/2
+	// instead of always — the property tests' shape; chaos scenarios keep
+	// every task stateful so checkpoint waves cover the whole DAG.
+	RandomStateful bool
+}
+
+// DefaultRandomConfig generates layered DAGs like the property-test
+// shapes: 1–5 layers of 1–4 tasks, mixed groupings, all stateful.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{MaxDepth: 5, MaxWidth: 4, MaxParallelism: 3, FieldsBias: 0.3}
+}
+
+// ChainConfig generates fanout-1 chains (every payload reaches the sink
+// exactly once) — the only DAG shape on which DSM's at-least-once replay
+// can promise zero duplicates, so DSM chaos cells run on chains.
+func ChainConfig() RandomConfig {
+	return RandomConfig{MaxDepth: 4, MaxWidth: 1, MaxParallelism: 2, FieldsBias: 0.5}
+}
+
+// Random builds a seed-deterministic random layered dataflow: one
+// source, up to MaxDepth layers of up to MaxWidth inner tasks, every
+// task wired to the next layer (no orphans, no dead ends), one sink.
+// The same (seed, cfg) always yields the same topology.
+func Random(seed int64, cfg RandomConfig) *Topology {
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MaxWidth < 1 {
+		cfg.MaxWidth = 1
+	}
+	if cfg.MaxParallelism < 1 {
+		cfg.MaxParallelism = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// First pass: draw the shape (layer widths, wiring, groupings).
+	layers := rng.Intn(cfg.MaxDepth) + 1
+	widths := make([]int, layers)
+	for l := range widths {
+		widths[l] = rng.Intn(cfg.MaxWidth) + 1
+	}
+	type edge struct {
+		from, to string
+		grouping Grouping
+	}
+	var edges []edge
+	names := make([][]string, layers)
+	id := 0
+	prev := []string{"Src"}
+	grouping := func() Grouping {
+		if rng.Float64() < cfg.FieldsBias {
+			return Fields
+		}
+		return Shuffle
+	}
+	for l := 0; l < layers; l++ {
+		cur := make([]string, widths[l])
+		for w := range cur {
+			cur[w] = fmt.Sprintf("T%d", id)
+			id++
+		}
+		names[l] = cur
+		// Every current task gets at least one feeder from prev; every
+		// prev task feeds at least one current task.
+		for i, c := range cur {
+			edges = append(edges, edge{prev[i%len(prev)], c, grouping()})
+		}
+		for i, p := range prev {
+			if i >= len(cur) {
+				edges = append(edges, edge{p, cur[rng.Intn(len(cur))], grouping()})
+			}
+		}
+		prev = cur
+	}
+	for _, p := range prev {
+		edges = append(edges, edge{p, "Sink", grouping()})
+	}
+
+	// Steady input rate per task (selectivity 1: each task's output rate
+	// equals its input rate, and every outgoing edge carries the full
+	// stream), used to size parallelism for SizeForRate.
+	rate := map[string]float64{"Src": 1}
+	for l := -1; l < layers; l++ {
+		var from []string
+		if l < 0 {
+			from = []string{"Src"}
+		} else {
+			from = names[l]
+		}
+		for _, f := range from {
+			for _, e := range edges {
+				if e.from == f {
+					rate[e.to] += rate[f]
+				}
+			}
+		}
+	}
+	parFor := func(task string) int {
+		if cfg.SizeForRate > 0 {
+			// ceil(input rate / 8 ev/s per instance), the paper's sizing.
+			return int(math.Max(1, math.Ceil(rate[task]*cfg.SizeForRate/8)))
+		}
+		return rng.Intn(cfg.MaxParallelism) + 1
+	}
+
+	b := NewBuilder(fmt.Sprintf("rand-%d", seed))
+	b.AddSource("Src", 1)
+	for _, layer := range names {
+		for _, name := range layer {
+			stateful := true
+			if cfg.RandomStateful {
+				stateful = rng.Intn(2) == 0
+			}
+			b.AddTask(name, parFor(name), stateful)
+		}
+	}
+	b.AddSink("Sink", 1)
+	for _, e := range edges {
+		b.Connect(e.from, e.to, e.grouping)
+	}
+	return b.MustBuild()
+}

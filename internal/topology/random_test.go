@@ -1,50 +1,27 @@
 package topology
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
-// randomDAG builds a random layered dataflow: a source, 1-5 layers of 1-4
-// tasks, every task wired to at least one task of the next layer, a sink
-// fed by the last layer. Construction guarantees validity; the property
-// tests assert the topology invariants hold on every shape.
+// randomDAG is the property-test shape of the exported generator: random
+// statefulness, mixed groupings, 1-5 layers of 1-4 tasks.
 func randomDAG(seed int64) *Topology {
-	rng := rand.New(rand.NewSource(seed))
-	b := NewBuilder(fmt.Sprintf("rand-%d", seed))
-	b.AddSource("Src", 1)
+	cfg := DefaultRandomConfig()
+	cfg.RandomStateful = true
+	return Random(seed, cfg)
+}
 
-	layers := rng.Intn(5) + 1
-	prev := []string{"Src"}
-	id := 0
-	for l := 0; l < layers; l++ {
-		width := rng.Intn(4) + 1
-		var cur []string
-		for w := 0; w < width; w++ {
-			name := fmt.Sprintf("T%d", id)
-			id++
-			b.AddTask(name, rng.Intn(3)+1, rng.Intn(2) == 0)
-			cur = append(cur, name)
+// pathsToSink counts source→sink paths (the DAG's fanout).
+func pathsToSink(topo *Topology) float64 {
+	paths := map[string]float64{"Src": 1}
+	for _, n := range topo.TopoSort() {
+		for _, e := range topo.Outgoing(n) {
+			paths[e.To] += paths[n]
 		}
-		// Every current task gets at least one feeder from prev; every
-		// prev task feeds at least one current task.
-		for i, c := range cur {
-			b.Connect(prev[i%len(prev)], c, Shuffle)
-		}
-		for i, p := range prev {
-			if i >= len(cur) {
-				b.Connect(p, cur[rng.Intn(len(cur))], Shuffle)
-			}
-		}
-		prev = cur
 	}
-	b.AddSink("Sink", 1)
-	for _, p := range prev {
-		b.Connect(p, "Sink", Shuffle)
-	}
-	return b.MustBuild()
+	return paths["Sink"]
 }
 
 // Property: every randomly built DAG validates, topo-sorts completely,
@@ -93,18 +70,70 @@ func TestRandomDAGRateConservation(t *testing.T) {
 	f := func(seed int64) bool {
 		topo := randomDAG(seed)
 		rates := topo.InputRate(8)
-		// Count source→sink paths by dynamic programming.
-		paths := map[string]float64{"Src": 1}
-		for _, n := range topo.TopoSort() {
-			for _, e := range topo.Outgoing(n) {
-				paths[e.To] += paths[n]
-			}
-		}
-		want := 8 * paths["Sink"]
+		want := 8 * pathsToSink(topo)
 		got := rates["Sink"]
 		return got > want-0.001 && got < want+0.001
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Random is deterministic: the same (seed, cfg) reproduces the exact
+// topology — names, edges, parallelism, statefulness.
+func TestRandomDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Random(seed, DefaultRandomConfig())
+		b := Random(seed, DefaultRandomConfig())
+		if a.Name() != b.Name() || len(a.Tasks()) != len(b.Tasks()) {
+			t.Fatalf("seed %d: shape differs", seed)
+		}
+		for _, n := range a.TaskNames() {
+			ta, tb := a.Task(n), b.Task(n)
+			if tb == nil || ta.Parallelism != tb.Parallelism || ta.Stateful != tb.Stateful {
+				t.Fatalf("seed %d task %s: %+v vs %+v", seed, n, ta, tb)
+			}
+			ea, eb := a.Outgoing(n), b.Outgoing(n)
+			if len(ea) != len(eb) {
+				t.Fatalf("seed %d task %s: edge counts differ", seed, n)
+			}
+			for i := range ea {
+				if ea[i] != eb[i] {
+					t.Fatalf("seed %d task %s edge %d: %+v vs %+v", seed, n, i, ea[i], eb[i])
+				}
+			}
+		}
+	}
+}
+
+// ChainConfig DAGs have fanout 1: every payload reaches the sink exactly
+// once, the shape DSM's duplicate-free chaos cells require.
+func TestRandomChainFanoutOne(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		topo := Random(seed, ChainConfig())
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p := pathsToSink(topo); p != 1 {
+			t.Fatalf("seed %d: chain has %v source→sink paths", seed, p)
+		}
+	}
+}
+
+// SizeForRate sizes parallelism to sustain the rate: every task gets
+// ceil(rate/8) instances, so per-instance input stays at or below 8 ev/s.
+func TestRandomSizeForRate(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	cfg.SizeForRate = 12
+	for seed := int64(0); seed < 40; seed++ {
+		topo := Random(seed, cfg)
+		rates := topo.InputRate(12)
+		for _, task := range topo.Inner() {
+			perInst := rates[task.Name] / float64(task.Parallelism)
+			if perInst > 8.0001 {
+				t.Fatalf("seed %d task %s: %.1f ev/s per instance across %d instances",
+					seed, task.Name, perInst, task.Parallelism)
+			}
+		}
 	}
 }

@@ -41,7 +41,7 @@ func TestChildPreservesCausality(t *testing.T) {
 	rootEmit := time.Date(2018, 1, 1, 0, 0, 1, 0, time.UTC)
 	root := &Event{
 		ID: 7, Root: 7, Kind: Data, Key: 99,
-		RootEmit: rootEmit, Replayed: true, PreMigration: true,
+		RootEmit: rootEmit, Replayed: true, PreMigration: true, Gen: 3,
 	}
 	child := root.Child(8, "taskB", 2, "payload")
 	if child.Root != root.Root {
@@ -55,6 +55,9 @@ func TestChildPreservesCausality(t *testing.T) {
 	}
 	if !child.Replayed || !child.PreMigration {
 		t.Error("child did not inherit Replayed/PreMigration markers")
+	}
+	if child.Gen != root.Gen {
+		t.Errorf("child gen = %d, want %d", child.Gen, root.Gen)
 	}
 	if child.Key != root.Key {
 		t.Errorf("child key = %d, want %d", child.Key, root.Key)

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// This file is the adversarial workload generator: key-distribution
+// selectors (uniform, hot-partition, Zipf) and rate schedules (diurnal
+// ramps, bursts) that the chaos harness replays against a running job.
+//
+// Everything here is a pure function of a seed: a KeyGen derives the key
+// from the payload sequence number alone (replayed payloads re-derive
+// the same key — runtime.Config.KeySelector requires it), and a Schedule
+// is a fixed step function of elapsed time. A chaos run is therefore
+// reproducible from its seed.
+
+// KeyGen derives a routing key from a payload sequence number. It must
+// be pure and safe for concurrent use (sources call it from their emit
+// loops; replays re-derive keys).
+type KeyGen func(seq int64) uint64
+
+// unit maps a hash to a float in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// keyHash mixes the seed and sequence number into one well-dispersed
+// 64-bit draw per payload.
+func keyHash(seed, seq int64) uint64 {
+	return tuple.Mix64(uint64(seed) ^ tuple.Mix64(uint64(seq)))
+}
+
+// UniformKeys spreads keys uniformly over the full 64-bit space — the
+// engine's default behavior, exposed so scenarios can name it.
+func UniformKeys(seed int64) KeyGen {
+	return func(seq int64) uint64 { return keyHash(seed, seq) }
+}
+
+// HotKeys sends a `share` fraction of payloads to one hot key (key 0 —
+// under fields grouping, one hot task instance) and spreads the rest
+// uniformly over `cold` cold keys.
+func HotKeys(seed int64, share float64, cold int) KeyGen {
+	if cold < 1 {
+		cold = 1
+	}
+	return func(seq int64) uint64 {
+		h := keyHash(seed, seq)
+		if unit(h) < share {
+			return 0
+		}
+		return 1 + tuple.Mix64(h)%uint64(cold)
+	}
+}
+
+// ZipfKeys draws keys from a Zipf distribution over n ranks with
+// exponent s > 0: rank k has probability proportional to k^-s. Unlike
+// math/rand's stateful Zipf generator this is a pure per-seq inverse
+// CDF lookup, so it satisfies the KeyGen purity contract.
+func ZipfKeys(seed int64, s float64, n int) KeyGen {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += math.Pow(float64(k), -s)
+		cdf[k-1] = total
+	}
+	return func(seq int64) uint64 {
+		u := unit(keyHash(seed, seq)) * total
+		return uint64(sort.SearchFloat64s(cdf, u))
+	}
+}
+
+// RatePhase is one step of a rate schedule: from Start (elapsed time)
+// onward, sources emit at Rate ev/s.
+type RatePhase struct {
+	Start time.Duration
+	Rate  float64
+}
+
+// Schedule is a step function of source rate over elapsed run time,
+// sorted by Start. Before the first phase the first phase's rate
+// applies.
+type Schedule []RatePhase
+
+// RateAt returns the rate in effect at the given elapsed time.
+func (s Schedule) RateAt(elapsed time.Duration) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	rate := s[0].Rate
+	for _, p := range s {
+		if p.Start > elapsed {
+			break
+		}
+		rate = p.Rate
+	}
+	return rate
+}
+
+// ExpectedEvents integrates the schedule over [0, horizon): the exact
+// number of events a source pacing against it emits, fractional events
+// included. Conservation tests pin generated schedules against this.
+func (s Schedule) ExpectedEvents(horizon time.Duration) float64 {
+	if len(s) == 0 || horizon <= 0 {
+		return 0
+	}
+	total := 0.0
+	cur := time.Duration(0)
+	rate := s[0].Rate // the first phase's rate also covers [0, s[0].Start)
+	for _, p := range s {
+		end := p.Start
+		if end > horizon {
+			end = horizon
+		}
+		if end > cur {
+			total += rate * (end - cur).Seconds()
+			cur = end
+		}
+		rate = p.Rate
+		if cur >= horizon {
+			return total
+		}
+	}
+	total += rate * (horizon - cur).Seconds()
+	return total
+}
+
+// Replay steps through the schedule against the clock, calling set with
+// each phase's rate at its start time. It returns when the last phase
+// has been applied or when stop is closed; run it in its own goroutine.
+func (s Schedule) Replay(clock timex.Clock, stop <-chan struct{}, set func(float64)) {
+	anchor := clock.Now()
+	for _, p := range s {
+		if timex.WaitUntil(clock, anchor.Add(p.Start), stop) {
+			return // stopped early
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		set(p.Rate)
+	}
+}
+
+// DiurnalSchedule approximates one diurnal cycle as `steps` equal steps
+// over `period`: the rate ramps sinusoidally from base (midnight) up to
+// peak (midday) and back. The first phase starts at 0.
+func DiurnalSchedule(base, peak float64, period time.Duration, steps int) Schedule {
+	if steps < 2 {
+		steps = 2
+	}
+	out := make(Schedule, steps)
+	for i := range out {
+		frac := float64(i) / float64(steps)
+		level := (1 - math.Cos(2*math.Pi*frac)) / 2 // 0 at edges, 1 mid-cycle
+		out[i] = RatePhase{
+			Start: time.Duration(frac * float64(period)),
+			Rate:  base + (peak-base)*level,
+		}
+	}
+	return out
+}
+
+// BurstSchedule emits base-rate traffic with one burst window of `width`
+// at rate `burst` per `every` interval, the burst's offset within its
+// interval drawn deterministically from seed. Phases cover [0, horizon).
+func BurstSchedule(seed int64, base, burst float64, every, width, horizon time.Duration) Schedule {
+	if width >= every {
+		width = every / 2
+	}
+	out := Schedule{{Start: 0, Rate: base}}
+	for k := 0; ; k++ {
+		intervalStart := time.Duration(k) * every
+		if intervalStart >= horizon {
+			break
+		}
+		slack := every - width
+		off := time.Duration(tuple.Mix64(uint64(seed)^uint64(k)) % uint64(slack))
+		start := intervalStart + off
+		if start >= horizon {
+			break
+		}
+		out = append(out, RatePhase{Start: start, Rate: burst})
+		if end := start + width; end < horizon {
+			out = append(out, RatePhase{Start: end, Rate: base})
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+)
+
+// chiSquared bins `draws` keys by key mod bins and returns the χ²
+// statistic against a uniform expectation.
+func chiSquared(g KeyGen, draws, bins int) float64 {
+	counts := make([]int, bins)
+	for seq := int64(0); seq < int64(draws); seq++ {
+		counts[g(seq)%uint64(bins)]++
+	}
+	exp := float64(draws) / float64(bins)
+	x2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		x2 += d * d / exp
+	}
+	return x2
+}
+
+func TestUniformKeysChiSquared(t *testing.T) {
+	// 16 bins → 15 degrees of freedom; χ² < 45 is far beyond the p=0.0001
+	// tail, and the draw is deterministic for the fixed seed anyway.
+	if x2 := chiSquared(UniformKeys(3), 8000, 16); x2 > 45 {
+		t.Fatalf("uniform keys χ² = %.1f over 16 bins, want < 45", x2)
+	}
+}
+
+func TestHotKeysShare(t *testing.T) {
+	const draws = 8000
+	g := HotKeys(7, 0.6, 32)
+	hot, cold := 0, make(map[uint64]int)
+	for seq := int64(0); seq < draws; seq++ {
+		if k := g(seq); k == 0 {
+			hot++
+		} else {
+			cold[k]++
+		}
+	}
+	if share := float64(hot) / draws; share < 0.55 || share > 0.65 {
+		t.Fatalf("hot share = %.3f, want ≈ 0.6", share)
+	}
+	if len(cold) < 25 {
+		t.Fatalf("only %d distinct cold keys of 32", len(cold))
+	}
+	for k := range cold {
+		if k < 1 || k > 32 {
+			t.Fatalf("cold key %d outside [1, 32]", k)
+		}
+	}
+}
+
+func TestZipfKeysShape(t *testing.T) {
+	const draws = 12000
+	g := ZipfKeys(11, 1.2, 64)
+	counts := make(map[uint64]int)
+	for seq := int64(0); seq < draws; seq++ {
+		counts[g(seq)]++
+	}
+	// Rank 0 dominates; under s=1.2 its mass is ≈ 2.3× rank 1's.
+	if counts[0] <= counts[1] {
+		t.Fatalf("rank 0 (%d) not more frequent than rank 1 (%d)", counts[0], counts[1])
+	}
+	if ratio := float64(counts[0]) / float64(counts[1]); ratio < 1.5 || ratio > 3.5 {
+		t.Fatalf("rank0/rank1 ratio = %.2f, want ≈ 2.3", ratio)
+	}
+	// The head carries most of the mass, the tail is still populated.
+	head := 0
+	for k := uint64(0); k < 8; k++ {
+		head += counts[k]
+	}
+	if share := float64(head) / draws; share < 0.6 {
+		t.Fatalf("top-8 share = %.3f, want skewed head", share)
+	}
+	if len(counts) < 32 {
+		t.Fatalf("only %d of 64 ranks drawn", len(counts))
+	}
+}
+
+// TestKeyGenGoldenSeedDeterminism: the same seed reproduces the exact
+// key sequence (the property a replayed chaos cell relies on), and a
+// different seed diverges.
+func TestKeyGenGoldenSeedDeterminism(t *testing.T) {
+	gens := map[string]func(seed int64) KeyGen{
+		"uniform": UniformKeys,
+		"hot":     func(seed int64) KeyGen { return HotKeys(seed, 0.5, 16) },
+		"zipf":    func(seed int64) KeyGen { return ZipfKeys(seed, 1.1, 32) },
+	}
+	for name, mk := range gens {
+		a, b, c := mk(42), mk(42), mk(43)
+		diverged := false
+		for seq := int64(0); seq < 500; seq++ {
+			if a(seq) != b(seq) {
+				t.Fatalf("%s: same seed diverged at seq %d", name, seq)
+			}
+			if a(seq) != c(seq) {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Fatalf("%s: seeds 42 and 43 produced identical sequences", name)
+		}
+	}
+}
+
+func TestScheduleRateAt(t *testing.T) {
+	s := Schedule{{Start: 0, Rate: 4}, {Start: 10 * time.Second, Rate: 12}, {Start: 20 * time.Second, Rate: 4}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 4}, {9 * time.Second, 4}, {10 * time.Second, 12},
+		{19 * time.Second, 12}, {25 * time.Second, 4},
+	}
+	for _, c := range cases {
+		if got := s.RateAt(c.at); got != c.want {
+			t.Fatalf("RateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+// TestScheduleConservation: ExpectedEvents equals the hand-integrated
+// area under the step function, including partial phases at the horizon.
+func TestScheduleConservation(t *testing.T) {
+	s := Schedule{{Start: 2 * time.Second, Rate: 4}, {Start: 10 * time.Second, Rate: 12}, {Start: 14 * time.Second, Rate: 6}}
+	// [0,10) at 4 (first rate covers the pre-phase gap), [10,14) at 12,
+	// [14,20) at 6.
+	want := 4*10.0 + 12*4.0 + 6*6.0
+	if got := s.ExpectedEvents(20 * time.Second); got != want {
+		t.Fatalf("ExpectedEvents(20s) = %v, want %v", got, want)
+	}
+	// Horizon inside a phase truncates it.
+	if got := s.ExpectedEvents(12 * time.Second); got != 4*10.0+12*2.0 {
+		t.Fatalf("ExpectedEvents(12s) = %v", got)
+	}
+	// Horizon before the first phase boundary uses the first rate.
+	if got := s.ExpectedEvents(time.Second); got != 4.0 {
+		t.Fatalf("ExpectedEvents(1s) = %v", got)
+	}
+}
+
+func TestDiurnalScheduleShape(t *testing.T) {
+	s := DiurnalSchedule(4, 16, 60*time.Second, 12)
+	if len(s) != 12 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0].Start != 0 || s[0].Rate != 4 {
+		t.Fatalf("first phase = %+v, want base at 0", s[0])
+	}
+	// Mid-cycle reaches the peak; every rate stays within [base, peak].
+	peakSeen := 0.0
+	for i, p := range s {
+		if p.Rate < 4-1e-9 || p.Rate > 16+1e-9 {
+			t.Fatalf("phase %d rate %v outside [4, 16]", i, p.Rate)
+		}
+		if i > 0 && p.Start <= s[i-1].Start {
+			t.Fatalf("phases not strictly increasing at %d", i)
+		}
+		if p.Rate > peakSeen {
+			peakSeen = p.Rate
+		}
+	}
+	if peakSeen < 15 {
+		t.Fatalf("peak rate %v never approached 16", peakSeen)
+	}
+	// Total volume is reproducible for the fixed parameters.
+	if a, b := s.ExpectedEvents(60*time.Second), DiurnalSchedule(4, 16, 60*time.Second, 12).ExpectedEvents(60*time.Second); a != b {
+		t.Fatalf("diurnal schedule not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestBurstScheduleDeterministicWindows(t *testing.T) {
+	mk := func(seed int64) Schedule {
+		return BurstSchedule(seed, 4, 14, 20*time.Second, 5*time.Second, 60*time.Second)
+	}
+	a, b, c := mk(9), mk(9), mk(10)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced different phase counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at phase %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 9 and 10 produced identical burst schedules")
+	}
+	// Structure: starts strictly increasing, rates alternate base/burst,
+	// every burst window is 5s wide.
+	for i := 1; i < len(a); i++ {
+		if a[i].Start <= a[i-1].Start {
+			t.Fatalf("phase starts not increasing at %d", i)
+		}
+	}
+	for i, p := range a {
+		if p.Rate != 4 && p.Rate != 14 {
+			t.Fatalf("phase %d rate %v not base or burst", i, p.Rate)
+		}
+		if p.Rate == 14 && i+1 < len(a) {
+			if w := a[i+1].Start - p.Start; w != 5*time.Second {
+				t.Fatalf("burst %d width %v, want 5s", i, w)
+			}
+		}
+	}
+}
+
+func TestScheduleReplayAppliesPhases(t *testing.T) {
+	clock := timex.NewScaled(0.002)
+	s := Schedule{{Start: 0, Rate: 5}, {Start: 2 * time.Second, Rate: 9}, {Start: 4 * time.Second, Rate: 3}}
+	var got []float64
+	done := make(chan struct{})
+	go func() {
+		s.Replay(clock, nil, func(r float64) { got = append(got, r) })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Replay did not finish")
+	}
+	if len(got) != 3 || got[0] != 5 || got[1] != 9 || got[2] != 3 {
+		t.Fatalf("applied rates = %v", got)
+	}
+}
+
+func TestScheduleReplayStops(t *testing.T) {
+	clock := timex.NewScaled(0.002)
+	stop := make(chan struct{})
+	close(stop)
+	var got []float64
+	done := make(chan struct{})
+	go func() {
+		Schedule{{Start: 0, Rate: 5}, {Start: time.Hour, Rate: 9}}.Replay(clock, stop, func(r float64) { got = append(got, r) })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Replay did not honor stop")
+	}
+	if len(got) > 1 {
+		t.Fatalf("applied %v after stop", got)
+	}
+}
