@@ -13,6 +13,12 @@
 // migration phase, and audits zero loss / zero duplicates plus the
 // per-migration generation accounting.
 //
+// With -supervise it runs the self-healing demo: the dataflow runs
+// under supervision, an executor is killed with no paired restart, and
+// the supervisor's detect→restore→recover timeline and MTTR are
+// reported alongside the reliability audit. Combined with -chaos it
+// appends the unplanned-crash cells to the matrix.
+//
 // Runs ride on the Job control plane, so an interrupt (SIGINT/Ctrl-C)
 // does not kill the dataflow mid-flight: an in-flight migration unwinds,
 // the dataflow drains gracefully, and the partial metrics are printed.
@@ -23,6 +29,7 @@
 //	stormlet -dag linear -strategy DSM -direction out -scale 0.05
 //	stormlet -dag diamond -strategy CCR -autoscale -policy queue
 //	stormlet -chaos -chaos.seed 7 -scale 0.05
+//	stormlet -supervise -dag linear -strategy DSM -scale 0.05
 package main
 
 import (
@@ -78,9 +85,10 @@ func runContext(ctx context.Context, args []string) error {
 	csvPath := fs.String("csv", "", "write the run's timelines as CSV files with this prefix")
 	doAutoscale := fs.Bool("autoscale", false, "run the closed elasticity loop under a ramping workload instead of a single migration (uses -dag, -strategy, -policy, -scale, -seed; the other flags do not apply)")
 	policy := fs.String("policy", "util-band", "autoscale policy: util-band, queue, latency-slo")
-	doChaos := fs.Bool("chaos", false, "run the phase×strategy crash matrix under adversarial generated workloads instead of a single migration (uses -chaos.seed, -scale, -full; the other flags do not apply)")
+	doChaos := fs.Bool("chaos", false, "run the phase×strategy crash matrix under adversarial generated workloads instead of a single migration (uses -chaos.seed, -scale, -full, -supervise; the other flags do not apply)")
 	chaosSeed := fs.Int64("chaos.seed", 1, "seed for the chaos matrix; a failing cell reports it for replay")
 	full := fs.Bool("full", false, "with -chaos: enact the out-then-in double migration per cell")
+	doSupervise := fs.Bool("supervise", false, "run the self-healing demo: the dataflow runs under supervision, an executor is killed with no restart, and the detect/restore/recover timeline plus MTTR is reported (uses -dag, -strategy, -scale, -seed); with -chaos: append the unplanned-crash cells to the matrix")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -89,7 +97,7 @@ func runContext(ctx context.Context, args []string) error {
 	}
 
 	if *doChaos {
-		return runChaos(ctx, *chaosSeed, *scale, *full)
+		return runChaos(ctx, *chaosSeed, *scale, *full, *doSupervise)
 	}
 	spec, err := dataflows.ByName(*dag)
 	if err != nil {
@@ -101,6 +109,9 @@ func runContext(ctx context.Context, args []string) error {
 	}
 	if *doAutoscale {
 		return runAutoscale(ctx, spec, strat, *policy, *scale, *seed)
+	}
+	if *doSupervise {
+		return runSupervise(ctx, spec, strat, *scale, *seed)
 	}
 	dir := experiments.ScaleIn
 	if *direction == "out" {
@@ -197,22 +208,58 @@ func runContext(ctx context.Context, args []string) error {
 // runChaos drives the crash matrix: every migration phase × strategy
 // cell under a generated adversarial workload, with an executor crashed
 // at exactly the cell's phase, audited for zero loss and duplicates.
-func runChaos(ctx context.Context, seed int64, scale float64, full bool) error {
+func runChaos(ctx context.Context, seed int64, scale float64, full, supervised bool) error {
 	mode := "short (one scale-out per cell)"
 	if full {
 		mode = "full (out-then-in double migration per cell)"
 	}
+	if supervised {
+		mode += ", with unplanned-crash cells"
+	}
 	fmt.Printf("Running chaos matrix, %s, seed %d (scale %.3f)...\n", mode, seed, scale)
 	start := time.Now()
 	out, err := experiments.RunChaos(ctx, experiments.ChaosConfig{
-		Seed:      seed,
-		TimeScale: scale,
-		Full:      full,
-		Progress:  func(line string) { fmt.Println("  " + line) },
+		Seed:       seed,
+		TimeScale:  scale,
+		Full:       full,
+		Supervised: supervised,
+		Progress:   func(line string) { fmt.Println("  " + line) },
 	})
 	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
 	fmt.Println(out)
 	return err
+}
+
+// runSupervise drives the self-healing demo: kill one executor with no
+// paired restart and report the supervisor's detect→restore→recover
+// timeline, MTTR, and the post-drain reliability audit.
+func runSupervise(ctx context.Context, spec dataflows.Spec, strat core.Strategy, scale float64, seed int64) error {
+	fmt.Printf("Supervised run: %s / %s (scale %.3f) — unplanned kill, self-healing recovery...\n",
+		spec.Topology.Name(), strat.Name(), scale)
+	start := time.Now()
+	r, err := experiments.RunSupervised(ctx, experiments.SuperviseScenario{
+		Spec:      spec,
+		Strategy:  strat,
+		TimeScale: scale,
+		Seed:      seed,
+		Progress:  func(line string) { fmt.Println("  " + line) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(experiments.Table("Self-healing recovery (paper time)",
+		[]string{"Item", "Value"},
+		[][]string{
+			{"Victim (unplanned kill)", r.Victim},
+			{"Detection after kill", r.Detected.Round(time.Millisecond).String()},
+			{"Recovered after kill", r.Restored.Round(time.Millisecond).String()},
+			{"MTTR (detect -> recover)", r.MTTR.Round(time.Millisecond).String()},
+			{"Incidents / health", fmt.Sprintf("%d / %s", r.Incidents, r.Health)},
+			{"Roots emitted / arrived", fmt.Sprintf("%d / %d", r.Emitted, r.Arrived)},
+			{"Lost / duplicated", fmt.Sprintf("%d / %d", r.Lost, r.Duplicates)},
+		}))
+	return nil
 }
 
 // runAutoscale drives the closed elasticity loop on the chosen dataflow

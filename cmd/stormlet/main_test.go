@@ -43,6 +43,20 @@ func TestRunChaosMode(t *testing.T) {
 	}
 }
 
+// TestRunSuperviseMode smoke-runs the self-healing demo through the CLI
+// entry point: unplanned kill, supervisor recovery, MTTR report.
+func TestRunSuperviseMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run; skipped in -short")
+	}
+	err := run([]string{
+		"-supervise", "-dag", "linear", "-strategy", "DSM", "-scale", "0.01",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsUnknownInputs(t *testing.T) {
 	if err := run([]string{"-dag", "nope"}); err == nil {
 		t.Fatal("unknown DAG accepted")

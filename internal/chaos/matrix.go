@@ -11,6 +11,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/job"
 	"repro/internal/runtime"
+	"repro/internal/supervisor"
+	"repro/internal/timex"
 	"repro/internal/topology"
 )
 
@@ -21,16 +23,28 @@ type Cell struct {
 	Strategy core.Strategy
 	Phase    runtime.MigrationPhase
 	Scenario Scenario
+	// Unplanned injects the crash with NO paired restart: the job runs
+	// under supervision, and the supervisor alone must detect the death
+	// by heartbeat loss and restore the instance (respawn + checkpoint
+	// INIT + DSM replay where acking is on). With Phase empty the kill
+	// lands in steady state after warmup; with a Phase it lands
+	// mid-enactment, racing the supervisor against the migration's own
+	// rebalance and INIT wave.
+	Unplanned bool
 }
 
 // ID names the cell for subtests and summaries:
-// "DSM@rebalance-start/chain-hot".
+// "DSM@rebalance-start/chain-hot" ("+unplanned" for supervised cells).
 func (c Cell) ID() string {
 	phase := "steady"
 	if c.Phase != "" {
 		phase = string(c.Phase)
 	}
-	return fmt.Sprintf("%s@%s/%s", c.Strategy.Name(), phase, c.Scenario.Name)
+	id := fmt.Sprintf("%s@%s/%s", c.Strategy.Name(), phase, c.Scenario.Name)
+	if c.Unplanned {
+		id += "+unplanned"
+	}
+	return id
 }
 
 // Matrix builds the full phase×strategy crash matrix for a seed. Every
@@ -43,18 +57,53 @@ func (c Cell) ID() string {
 func Matrix(seed int64) []Cell {
 	s := func(i int64) int64 { return seed + i*101 }
 	return []Cell{
-		{core.DSM{}, runtime.PhaseRequested, ChainSkew(s(1))},
-		{core.DSM{}, runtime.PhaseRebalanceStart, ChainHot(s(2))},
-		{core.DSM{}, runtime.PhaseRebalanceEnd, ChainBurst(s(3))},
-		{core.DSM{}, "", ChainSkew(s(4))},
-		{core.DCR{}, runtime.PhaseDrainEnd, DagDeep(s(5))},
-		{core.DCR{}, runtime.PhaseRebalanceStart, DagJitter(s(6))},
-		{core.DCR{}, runtime.PhaseRebalanceEnd, DagSkew(s(7))},
-		{core.DCR{}, "", ChainPartition(s(8))},
-		{core.CCR{}, runtime.PhaseDrainEnd, DagJitter(s(9))},
-		{core.CCR{}, runtime.PhaseRebalanceStart, DagSkew(s(10))},
-		{core.CCR{}, runtime.PhaseRebalanceEnd, DagDeep(s(11))},
-		{core.CCR{}, "", ChainPartition(s(12))},
+		{core.DSM{}, runtime.PhaseRequested, ChainSkew(s(1)), false},
+		{core.DSM{}, runtime.PhaseRebalanceStart, ChainHot(s(2)), false},
+		{core.DSM{}, runtime.PhaseRebalanceEnd, ChainBurst(s(3)), false},
+		{core.DSM{}, "", ChainSkew(s(4)), false},
+		{core.DCR{}, runtime.PhaseDrainEnd, DagDeep(s(5)), false},
+		{core.DCR{}, runtime.PhaseRebalanceStart, DagJitter(s(6)), false},
+		{core.DCR{}, runtime.PhaseRebalanceEnd, DagSkew(s(7)), false},
+		{core.DCR{}, "", ChainPartition(s(8)), false},
+		{core.CCR{}, runtime.PhaseDrainEnd, DagJitter(s(9)), false},
+		{core.CCR{}, runtime.PhaseRebalanceStart, DagSkew(s(10)), false},
+		{core.CCR{}, runtime.PhaseRebalanceEnd, DagDeep(s(11)), false},
+		{core.CCR{}, "", ChainPartition(s(12)), false},
+	}
+}
+
+// SupervisedMatrix builds the unplanned-crash matrix: every cell kills
+// an executor with no paired restart and relies on the supervisor to
+// converge back to full strength with zero loss. Steady cells (empty
+// Phase) crash after warmup and must record a supervisor incident before
+// the migrations run; phase cells crash mid-enactment, where either the
+// rebalance's own respawn or the supervisor may heal the victim — the
+// audit, not the incident count, is the assertion there. DSM cells stay
+// on chains (replay physics, see the package doc); DCR/CCR cells crash
+// only at quiesced phases where the JIT checkpoint has already
+// persisted everything the INIT restore needs.
+func SupervisedMatrix(seed int64) []Cell {
+	s := func(i int64) int64 { return seed + i*113 }
+	return []Cell{
+		{core.DSM{}, "", ChainSkew(s(1)), true},
+		{core.DSM{}, "", ChainBurst(s(2)), true},
+		{core.DSM{}, runtime.PhaseRebalanceStart, ChainHot(s(3)), true},
+		{core.DCR{}, runtime.PhaseDrainEnd, DagDeep(s(4)), true},
+		{core.CCR{}, runtime.PhaseDrainEnd, DagJitter(s(5)), true},
+		{core.CCR{}, runtime.PhaseRebalanceEnd, DagSkew(s(6)), true},
+	}
+}
+
+// supervisionPolicy is the detection/recovery tuning supervised cells
+// run under: 2 s pulse, dead after 3 missed beats (~6 s to detection),
+// 2 s retry cadence. All paper time, so it compresses with TimeScale.
+func supervisionPolicy() supervisor.Policy {
+	return supervisor.Policy{
+		HeartbeatInterval:  2 * time.Second,
+		MissedBeats:        3,
+		RestoreTimeout:     30 * time.Second,
+		RetryInterval:      2 * time.Second,
+		MaxRestoreFailures: 3,
 	}
 }
 
@@ -101,6 +150,12 @@ type Result struct {
 	Boundary int
 	// Victims names the executors crashed, one per injected crash.
 	Victims []string
+	// Incidents and MeanMTTR report the supervisor's detect→recover
+	// record (unplanned cells only; zero otherwise). Mid-enactment kills
+	// can legitimately record no incident: the migration's own rebalance
+	// respawn may heal the victim before detection fires.
+	Incidents int
+	MeanMTTR  time.Duration
 	// Err is the first failed assertion, nil when the cell passed.
 	Err error
 }
@@ -120,7 +175,7 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 	sc := cell.Scenario
 	res := Result{Cell: cell}
 
-	j, err := job.Submit(ctx, sc.Spec,
+	opts := []job.Option{
 		job.WithTimeScale(o.TimeScale),
 		job.WithSeed(sc.Seed),
 		job.WithStrategy(cell.Strategy),
@@ -139,7 +194,11 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 			cfg.WorkerStagger = 500 * time.Millisecond
 			cfg.WorkerJitter = time.Second
 		}),
-	)
+	}
+	if cell.Unplanned {
+		opts = append(opts, job.WithSupervision(supervisionPolicy()))
+	}
+	j, err := job.Submit(ctx, sc.Spec, opts...)
 	if err != nil {
 		res.failf("submit: %w", err)
 		return res
@@ -177,7 +236,11 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 			}
 		}
 		j.CrashExecutor(victim)
-		j.RestartExecutor(victim)
+		if !cell.Unplanned {
+			// Planned cells pair the kill with an immediate restart; the
+			// unplanned matrix leaves the corpse for the supervisor.
+			j.RestartExecutor(victim)
+		}
 		victimMu.Lock()
 		victims = append(victims, victim.String())
 		victimMu.Unlock()
@@ -206,7 +269,7 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 
 	clock.Sleep(30 * time.Second) // warmup under the scenario schedule
 
-	if cell.Strategy.Mode() == runtime.ModeDSM && cell.Phase != "" {
+	if cell.Strategy.Mode() == runtime.ModeDSM && (cell.Phase != "" || cell.Unplanned) {
 		// Pin a committed checkpoint before the crash so the victim's
 		// INIT restore has a blob — the periodic DSM checkpointer would
 		// provide one eventually; doing it explicitly keeps the cell
@@ -217,14 +280,60 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 		}
 	}
 
+	if cell.Unplanned && cell.Phase == "" {
+		// Steady-state unplanned kill: no restart, no migration in
+		// flight — detection and restore are entirely the supervisor's.
+		victim := sinks[0]
+		for _, in := range inner {
+			if eng.Executor(in) != nil {
+				victim = in
+				break
+			}
+		}
+		j.CrashExecutor(victim)
+		victimMu.Lock()
+		victims = append(victims, victim.String())
+		victimMu.Unlock()
+		// The incident must close before the migrations add their own
+		// churn — this is where MTTR is genuinely the supervisor's.
+		if err := waitSupervised(j, clock, 1, 180*time.Second); err != nil {
+			res.failf("steady-state recovery: %w", err)
+			return res
+		}
+	}
+
 	dirs := []job.Direction{job.ScaleOut, job.ScaleIn}
 	for i := 0; i < o.Migrations; i++ {
 		if i > 0 {
 			clock.Sleep(20 * time.Second) // settle between migrations
 		}
 		armed.Store(true)
-		if err := j.ScaleWith(ctx, dirs[i%len(dirs)], cell.Strategy); err != nil {
+		var err error
+		if cell.Unplanned {
+			// A supervised enactment rides out transient contention with
+			// the recovery loop (its restore wave holds the control token
+			// in bursts) instead of failing fast on ErrBusy.
+			err = j.ScaleWithRetry(ctx, dirs[i%len(dirs)], job.RetryPolicy{
+				MaxAttempts: 8,
+				BaseDelay:   2 * time.Second,
+				MaxDelay:    10 * time.Second,
+				JitterSeed:  sc.Seed,
+			})
+		} else {
+			err = j.ScaleWith(ctx, dirs[i%len(dirs)], cell.Strategy)
+		}
+		if err != nil {
 			res.failf("migration %d: %w", i+1, err)
+			return res
+		}
+	}
+
+	if cell.Unplanned {
+		// Whether the rebalance respawn or the supervisor healed the
+		// mid-enactment victim, the job must be back at full strength
+		// before the audit cutoff means anything.
+		if err := waitSupervised(j, clock, 0, 180*time.Second); err != nil {
+			res.failf("post-migration convergence: %w", err)
 			return res
 		}
 	}
@@ -260,6 +369,12 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 	victimMu.Lock()
 	res.Victims = append([]string(nil), victims...)
 	victimMu.Unlock()
+
+	if cell.Unplanned {
+		st := j.Status()
+		res.Incidents = st.Incidents
+		res.MeanMTTR = st.MeanMTTR
+	}
 
 	aud := eng.Audit()
 	now := clock.Now()
@@ -300,6 +415,9 @@ func audit(res *Result, o Options) {
 		res.failf("crash injected %d times (%v), want once per migration (%d)",
 			len(res.Victims), res.Victims, o.Migrations)
 	}
+	if cell.Unplanned && cell.Phase == "" && res.Incidents == 0 {
+		res.failf("unplanned steady-state kill recorded no supervisor incident")
+	}
 	// Only DCR promises a strict old/new boundary per migration (§3.2):
 	// the drain lands every pre-migration event before any post-
 	// migration event is emitted. DSM never pauses; CCR resumes captured
@@ -307,6 +425,27 @@ func audit(res *Result, o Options) {
 	if cell.Strategy.Name() == (core.DCR{}).Name() && res.Boundary > 0 {
 		res.failf("%d boundary violations across %d migrations (DCR promises 0)",
 			res.Boundary, o.Migrations)
+	}
+}
+
+// waitSupervised polls the supervised job until it is back at full
+// strength: health healthy, every inner+sink executor running, no
+// pending respawns, and at least wantIncidents closed incidents. The
+// deadline is paper time, so it compresses with the cell's TimeScale.
+func waitSupervised(j *job.Job, clock timex.Clock, wantIncidents int, deadline time.Duration) error {
+	all := len(j.Spec().Topology.Instances(topology.RoleInner, topology.RoleSink))
+	limit := clock.Now().Add(deadline)
+	for {
+		st := j.Status()
+		if st.Health == supervisor.Healthy && st.Incidents >= wantIncidents &&
+			st.RunningExecutors == all && st.PendingRespawns == 0 {
+			return nil
+		}
+		if clock.Now().After(limit) {
+			return fmt.Errorf("not converged after %v: health=%v incidents=%d running=%d/%d pending=%d",
+				deadline, st.Health, st.Incidents, st.RunningExecutors, all, st.PendingRespawns)
+		}
+		clock.Sleep(2 * time.Second)
 	}
 }
 
@@ -329,8 +468,8 @@ func RunMatrix(ctx context.Context, cells []Cell, o Options, report func(Result)
 // the form the elastic-bench chaos artifact and stormlet -chaos print.
 func Summary(results []Result, seed int64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-34s %8s %8s %5s %5s %9s %s\n",
-		"cell", "emitted", "arrived", "lost", "dups", "boundary", "verdict")
+	fmt.Fprintf(&b, "%-44s %8s %8s %5s %5s %9s %5s %9s %s\n",
+		"cell", "emitted", "arrived", "lost", "dups", "boundary", "incid", "mttr", "verdict")
 	failed := 0
 	for _, r := range results {
 		verdict := "ok"
@@ -338,8 +477,13 @@ func Summary(results []Result, seed int64) string {
 			verdict = "FAIL: " + r.Err.Error()
 			failed++
 		}
-		fmt.Fprintf(&b, "%-34s %8d %8d %5d %5d %9d %s\n",
-			r.Cell.ID(), r.Emitted, r.Arrived, r.Lost, r.Duplicates, r.Boundary, verdict)
+		mttr := "-"
+		if r.Incidents > 0 {
+			mttr = r.MeanMTTR.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-44s %8d %8d %5d %5d %9d %5d %9s %s\n",
+			r.Cell.ID(), r.Emitted, r.Arrived, r.Lost, r.Duplicates, r.Boundary,
+			r.Incidents, mttr, verdict)
 	}
 	if failed > 0 {
 		fmt.Fprintf(&b, "\n%d/%d cells FAILED — replay with -chaos.seed=%d\n", failed, len(results), seed)

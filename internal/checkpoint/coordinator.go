@@ -23,6 +23,7 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -77,6 +78,38 @@ var ErrWaveTimeout = errors.New("checkpoint: wave timed out")
 
 // ErrClosed reports use of a closed coordinator.
 var ErrClosed = errors.New("checkpoint: coordinator closed")
+
+// DefaultWaveDeadline bounds waves whose caller passed no maxWait. A
+// wave whose acks never arrive — a dead executor that nobody respawns —
+// previously waited forever, wedging the caller (and any control token
+// it held). Generously sized: an order of magnitude past the slowest
+// legitimate wave (DSM's ~30 s ack-timeout INIT rounds), so it only
+// fires on genuinely lost acks.
+const DefaultWaveDeadline = 5 * time.Minute
+
+// WaveTimeoutError reports which wave timed out and who never answered.
+// It unwraps to ErrWaveTimeout, so existing errors.Is checks keep
+// working; callers that need the detail (the supervisor's degradation
+// ladder, test diagnostics) can errors.As it out.
+type WaveTimeoutError struct {
+	// Kind is the wave kind (PREPARE, COMMIT, ROLLBACK, INIT).
+	Kind tuple.Kind
+	// Wave is the coordinator's wave id.
+	Wave uint64
+	// Acked and Expected count acknowledgments received vs required.
+	Acked, Expected int
+	// Missing lists the instance keys that never acknowledged, sorted.
+	Missing []string
+}
+
+// Error implements error.
+func (e *WaveTimeoutError) Error() string {
+	return fmt.Sprintf("%v: %s wave %d (%d/%d acked, missing %v)",
+		ErrWaveTimeout, e.Kind, e.Wave, e.Acked, e.Expected, e.Missing)
+}
+
+// Unwrap makes errors.Is(err, ErrWaveTimeout) hold.
+func (e *WaveTimeoutError) Unwrap() error { return ErrWaveTimeout }
 
 // WaveStats counts coordinator activity.
 type WaveStats struct {
@@ -137,7 +170,10 @@ func NewCoordinator(clock timex.Clock, transport Transport, idgen *tuple.IDGen) 
 // resend > 0 re-emits the wave's events every resend interval until fully
 // acknowledged — the 1 s aggressive re-INIT of DCR/CCR, or the ~30 s
 // ack-timeout-driven re-INIT of DSM. maxWait > 0 bounds the total wait;
-// on expiry RunWave returns ErrWaveTimeout (callers may then roll back).
+// on expiry RunWave returns a *WaveTimeoutError (errors.Is
+// ErrWaveTimeout) and callers may roll back. maxWait <= 0 falls back to
+// DefaultWaveDeadline — no wave waits forever on acks that will never
+// arrive.
 func (c *Coordinator) RunWave(kind tuple.Kind, delivery Delivery, resend, maxWait time.Duration) error {
 	c.mu.Lock()
 	if c.closed {
@@ -180,26 +216,16 @@ func (c *Coordinator) RunWave(kind tuple.Kind, delivery Delivery, resend, maxWai
 		}
 	}
 
-	deadline := time.Time{}
-	if maxWait > 0 {
-		deadline = c.clock.Now().Add(maxWait)
+	if maxWait <= 0 {
+		maxWait = DefaultWaveDeadline
 	}
+	timeoutCh := c.clock.After(maxWait)
 	round := 0
 	send(round)
 	for {
 		var resendCh <-chan time.Time
 		if resend > 0 {
 			resendCh = c.clock.After(resend)
-		}
-		var timeoutCh <-chan time.Time
-		if !deadline.IsZero() {
-			remaining := deadline.Sub(c.clock.Now())
-			if remaining <= 0 {
-				c.finishWave(ws, false)
-				return fmt.Errorf("%w: %s wave %d (%d/%d acked)",
-					ErrWaveTimeout, kind, ws.wave, c.ackedCount(ws), len(ws.expected))
-			}
-			timeoutCh = c.clock.After(remaining)
 		}
 		select {
 		case <-ws.done:
@@ -212,16 +238,28 @@ func (c *Coordinator) RunWave(kind tuple.Kind, delivery Delivery, resend, maxWai
 			send(round)
 		case <-timeoutCh:
 			c.finishWave(ws, false)
-			return fmt.Errorf("%w: %s wave %d (%d/%d acked)",
-				ErrWaveTimeout, kind, ws.wave, c.ackedCount(ws), len(ws.expected))
+			return c.timeoutError(ws)
 		}
 	}
 }
 
-func (c *Coordinator) ackedCount(ws *waveState) int {
+// timeoutError builds the typed timeout report for a finished wave.
+func (c *Coordinator) timeoutError(ws *waveState) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(ws.acked)
+	e := &WaveTimeoutError{
+		Kind:     ws.kind,
+		Wave:     ws.wave,
+		Acked:    len(ws.acked),
+		Expected: len(ws.expected),
+	}
+	for k := range ws.expected {
+		if _, ok := ws.acked[k]; !ok {
+			e.Missing = append(e.Missing, k)
+		}
+	}
+	sort.Strings(e.Missing)
+	return e
 }
 
 func (c *Coordinator) finishWave(ws *waveState, ok bool) {
@@ -369,9 +407,8 @@ func (c *Coordinator) Stats() WaveStats {
 
 // Close stops periodic checkpointing and aborts any active waves. RunWave
 // callers blocked on an active wave return ErrWaveTimeout via their
-// maxWait, or hang on resend forever otherwise — strategies always pass a
-// maxWait, and the engine closes the coordinator only after strategies
-// finish.
+// maxWait (or DefaultWaveDeadline) — the engine closes the coordinator
+// only after strategies finish, so this is a backstop, not a fast abort.
 func (c *Coordinator) Close() {
 	c.StopPeriodic()
 	c.periodicWG.Wait()

@@ -146,13 +146,16 @@ func TestResendUntilLateTaskComesUp(t *testing.T) {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- c.RunWave(tuple.Init, Broadcast, time.Second, 0) }()
-	waitPending(t, clock)
+	// Two timers pending: the resend tick plus the default wave
+	// deadline; wait for both so Advance cannot race the resend's
+	// registration.
+	waitTimers(t, clock, 2)
 
 	// Two resend rounds pass with B down.
 	clock.Advance(time.Second)
-	waitPending(t, clock)
+	waitTimers(t, clock, 2)
 	clock.Advance(time.Second)
-	waitPending(t, clock)
+	waitTimers(t, clock, 2)
 	// B comes up; the next resend reaches it.
 	tr.setAuto("B[0]", true)
 	clock.Advance(time.Second)

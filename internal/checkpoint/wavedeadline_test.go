@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// waitTimers blocks until the manual clock holds at least n pending
+// timers, so an Advance cannot race the goroutine registering them.
+func waitTimers(t *testing.T, clock *timex.ManualClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.PendingTimers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timer never registered (have %d, want %d)", clock.PendingTimers(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUnboundedWaveHitsDefaultDeadline is the regression for the
+// dead-executor hang: a wave whose acks never arrive and whose caller
+// passed no maxWait used to wait forever. It must now return a typed
+// *WaveTimeoutError at DefaultWaveDeadline, naming the silent instance.
+func TestUnboundedWaveHitsDefaultDeadline(t *testing.T) {
+	c, tr, clock := newCoordFixture("up[0]", "dead[0]")
+	tr.setAuto("dead[0]", false) // dead executor: never acks
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.RunWave(tuple.Init, Broadcast, 0, 0) }()
+
+	// Just before the default deadline the wave must still be waiting.
+	waitTimers(t, clock, 1)
+	clock.Advance(DefaultWaveDeadline - time.Second)
+	select {
+	case err := <-errCh:
+		t.Fatalf("wave ended before the default deadline: %v", err)
+	default:
+	}
+	clock.Advance(2 * time.Second)
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrWaveTimeout) {
+			t.Fatalf("err = %v, want ErrWaveTimeout", err)
+		}
+		var wt *WaveTimeoutError
+		if !errors.As(err, &wt) {
+			t.Fatalf("err = %T, want *WaveTimeoutError", err)
+		}
+		if wt.Kind != tuple.Init || wt.Acked != 1 || wt.Expected != 2 {
+			t.Fatalf("timeout detail = %+v, want INIT 1/2 acked", wt)
+		}
+		if len(wt.Missing) != 1 || wt.Missing[0] != "dead[0]" {
+			t.Fatalf("Missing = %v, want [dead[0]]", wt.Missing)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wave still hung past the default deadline")
+	}
+}
+
+// TestUnboundedCheckpointRollsBackOnDeadACker asserts the full
+// Checkpoint cycle with no explicit timeout rolls the PREPARE wave back
+// (instead of hanging) when an acker is dead, and reports the typed
+// timeout.
+func TestUnboundedCheckpointRollsBackOnDeadAcker(t *testing.T) {
+	c, tr, clock := newCoordFixture("a[0]", "b[0]")
+	tr.setAuto("b[0]", false)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Checkpoint(Sequential, 0) }()
+	waitTimers(t, clock, 1)
+	clock.Advance(DefaultWaveDeadline + time.Second) // PREPARE times out
+	waitTimers(t, clock, 1)
+	clock.Advance(DefaultWaveDeadline + time.Second) // best-effort ROLLBACK times out too
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrWaveTimeout) {
+			t.Fatalf("Checkpoint err = %v, want ErrWaveTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Checkpoint hung with a dead acker and no explicit timeout")
+	}
+	stats := c.Stats()
+	if stats.Waves[tuple.Rollback.String()] != 1 {
+		t.Fatalf("rollback waves = %d, want 1 (prepare timeout must roll back)", stats.Waves[tuple.Rollback.String()])
+	}
+}

@@ -18,6 +18,10 @@ type ChaosConfig struct {
 	// Full enacts the out-then-in double migration per cell instead of
 	// a single scale-out.
 	Full bool
+	// Supervised appends the unplanned-crash matrix: cells whose kills
+	// have no paired restart and must be healed by the supervisor, with
+	// MTTR reported per cell.
+	Supervised bool
 	// Progress, when non-nil, receives one line per finished cell.
 	Progress func(string)
 }
@@ -33,6 +37,9 @@ func ChaosMatrix(ctx context.Context, cfg ChaosConfig) (string, error) {
 		o.Migrations = 2
 	}
 	cells := chaos.Matrix(cfg.Seed)
+	if cfg.Supervised {
+		cells = append(cells, chaos.SupervisedMatrix(cfg.Seed)...)
+	}
 	results := chaos.RunMatrix(ctx, cells, o, func(r chaos.Result) {
 		if cfg.Progress == nil {
 			return
@@ -41,7 +48,7 @@ func ChaosMatrix(ctx context.Context, cfg ChaosConfig) (string, error) {
 		if r.Err != nil {
 			verdict = "FAIL"
 		}
-		cfg.Progress(fmt.Sprintf("%-34s %s", r.Cell.ID(), verdict))
+		cfg.Progress(fmt.Sprintf("%-44s %s", r.Cell.ID(), verdict))
 	})
 
 	rows := make([][]string, 0, len(results))
@@ -52,17 +59,21 @@ func ChaosMatrix(ctx context.Context, cfg ChaosConfig) (string, error) {
 			verdict = "FAIL: " + r.Err.Error()
 			failed++
 		}
+		mttr := "-"
+		if r.Incidents > 0 {
+			mttr = r.MeanMTTR.Round(time.Millisecond).String()
+		}
 		rows = append(rows, []string{
 			r.Cell.Strategy.Name(), phaseLabel(r.Cell), r.Cell.Scenario.Name,
 			fmt.Sprint(r.Emitted), fmt.Sprint(r.Arrived),
 			fmt.Sprint(r.Lost), fmt.Sprint(r.Duplicates), fmt.Sprint(r.Boundary),
-			fmt.Sprint(len(r.Victims)), verdict,
+			fmt.Sprint(len(r.Victims)), fmt.Sprint(r.Incidents), mttr, verdict,
 		})
 	}
 	title := fmt.Sprintf("Chaos matrix: crash at phase × strategy under adversarial workloads (seed %d, %d migration(s)/cell)",
 		cfg.Seed, o.Migrations)
 	out := Table(title,
-		[]string{"Strategy", "Crash at", "Scenario", "Emitted", "Arrived", "Lost", "Dup", "Boundary", "Crashes", "Verdict"},
+		[]string{"Strategy", "Crash at", "Scenario", "Emitted", "Arrived", "Lost", "Dup", "Boundary", "Crashes", "Incid", "MTTR", "Verdict"},
 		rows)
 	if failed > 0 {
 		return out, fmt.Errorf("%d/%d chaos cells failed (replay with -seed %d)", failed, len(results), cfg.Seed)
@@ -71,10 +82,17 @@ func ChaosMatrix(ctx context.Context, cfg ChaosConfig) (string, error) {
 }
 
 func phaseLabel(c chaos.Cell) string {
-	if c.Phase == "" {
-		return "(none)"
+	label := "(none)"
+	if c.Phase != "" {
+		label = string(c.Phase)
 	}
-	return string(c.Phase)
+	if c.Unplanned {
+		if c.Phase == "" {
+			label = "steady"
+		}
+		label += " unplanned"
+	}
+	return label
 }
 
 // chaosWallBudget bounds one matrix's wall time regardless of cell

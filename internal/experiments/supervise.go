@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/job"
+	"repro/internal/runtime"
+	"repro/internal/supervisor"
+	"repro/internal/topology"
+)
+
+// SuperviseScenario configures the self-healing demo run behind
+// `stormlet -supervise`: one dataflow under WithSupervision, one
+// executor killed with no paired restart, the supervisor's
+// detect→restore→recover timeline reported live.
+type SuperviseScenario struct {
+	Spec      dataflows.Spec
+	Strategy  core.Strategy
+	TimeScale float64
+	Seed      int64
+	// Progress, when non-nil, receives one line per supervision event.
+	Progress func(string)
+}
+
+func (sc SuperviseScenario) progress(format string, args ...any) {
+	if sc.Progress != nil {
+		sc.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// SuperviseResult is the audited outcome of the demo.
+type SuperviseResult struct {
+	// Victim is the executor killed without a restart.
+	Victim string
+	// Detected and Restored are paper-time offsets from the kill.
+	Detected, Restored time.Duration
+	// MTTR is the supervisor's own detection→recovery measure.
+	MTTR time.Duration
+	// Incidents and Health are the final Status view.
+	Incidents int
+	Health    string
+	// Audit totals after the final drain. Lost stays zero for DSM
+	// (acking replays the outage); JIT modes report the in-flight events
+	// the unplanned kill discarded — the demo's point of comparison.
+	Emitted, Arrived int
+	Lost, Duplicates int
+}
+
+// RunSupervised runs the self-healing demo end to end. The returned
+// error is non-nil when the supervisor fails to recover the victim or a
+// DSM run loses data.
+func RunSupervised(ctx context.Context, sc SuperviseScenario) (SuperviseResult, error) {
+	var res SuperviseResult
+	j, err := job.Submit(ctx, sc.Spec,
+		job.WithTimeScale(sc.TimeScale),
+		job.WithSeed(sc.Seed),
+		job.WithStrategy(sc.Strategy),
+		job.WithSupervision(supervisor.Policy{
+			HeartbeatInterval: 2 * time.Second,
+			MissedBeats:       3,
+			RestoreTimeout:    30 * time.Second,
+			RetryInterval:     2 * time.Second,
+		}),
+	)
+	if err != nil {
+		return res, err
+	}
+	defer j.Stop()
+	events := j.Events()
+	if err := j.Start(); err != nil {
+		return res, err
+	}
+	clock := j.Clock()
+	clock.Sleep(30 * time.Second) // warmup
+	if err := j.Checkpoint(ctx); err != nil {
+		return res, err
+	}
+
+	var victim topology.Instance
+	for _, in := range sc.Spec.Topology.Instances(topology.RoleInner) {
+		if j.Engine().Executor(in) != nil {
+			victim = in
+			break
+		}
+	}
+	killAt := clock.Now()
+	if !j.CrashExecutor(victim) {
+		return res, fmt.Errorf("victim %s was not running", victim)
+	}
+	res.Victim = victim.String()
+	sc.progress("killed %s — no restart; the supervisor must recover it", victim)
+
+	// Follow the event stream until the incident closes.
+	guard := time.After(2 * time.Minute) // wall-clock guard
+	for res.MTTR == 0 {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return res, fmt.Errorf("event stream closed before recovery")
+			}
+			switch ev.Kind {
+			case job.EventFailureDetected:
+				res.Detected = ev.Time.Sub(killAt)
+				sc.progress("detected %s after %v", ev.Instance, res.Detected.Round(time.Millisecond))
+			case job.EventRestoring:
+				sc.progress("restoring %s from the last committed checkpoint", ev.Instance)
+			case job.EventDegraded:
+				sc.progress("DEGRADED: %v", ev)
+			case job.EventRecovered:
+				res.Restored = ev.Time.Sub(killAt)
+				res.MTTR = ev.MTTR
+				sc.progress("recovered %s (mttr %v)", ev.Instance, ev.MTTR.Round(time.Millisecond))
+			}
+		case <-guard:
+			return res, fmt.Errorf("supervisor never recovered %s", victim)
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+	}
+
+	// Settle, then audit. DSM's acking must replay the outage to zero
+	// loss; JIT modes just report what the kill discarded.
+	cut := clock.Now()
+	if sc.Strategy.Mode() == runtime.ModeDSM {
+		limit := cut.Add(300 * time.Second)
+		for len(j.Engine().Audit().Lost(cut)) > 0 && clock.Now().Before(limit) {
+			clock.Sleep(5 * time.Second)
+		}
+	} else {
+		clock.Sleep(30 * time.Second)
+	}
+	if err := j.Drain(ctx); err != nil {
+		return res, err
+	}
+
+	st := j.Status()
+	res.Incidents, res.Health = st.Incidents, st.Health.String()
+	aud := j.Engine().Audit()
+	res.Emitted, res.Arrived = aud.EmittedCount(), aud.SinkArrivals()
+	res.Lost = len(aud.Lost(clock.Now()))
+	res.Duplicates = aud.Duplicates(j.Engine().Fanout())
+	if sc.Strategy.Mode() == runtime.ModeDSM && res.Lost > 0 {
+		return res, fmt.Errorf("%d roots lost after a supervised DSM recovery", res.Lost)
+	}
+	return res, nil
+}

@@ -1,0 +1,210 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/supervisor"
+	"repro/internal/topology"
+)
+
+// supervisePolicy compresses supervision for tests: 1s pulse, dead
+// after 2 missed beats, fast retries.
+func supervisePolicy() supervisor.Policy {
+	return supervisor.Policy{
+		HeartbeatInterval:  time.Second,
+		MissedBeats:        2,
+		RestoreTimeout:     20 * time.Second,
+		RetryInterval:      time.Second,
+		MaxRestoreFailures: 3,
+	}
+}
+
+// superviseOpts: a DSM-mode supervised job (data acking on, so the
+// source's ack timeouts replay whatever an unplanned crash loses).
+func superviseOpts() []Option {
+	return append(crashOpts(),
+		WithStrategy(core.DSM{}),
+		WithSupervision(supervisePolicy()))
+}
+
+// submitSupervised deploys a supervised Linear job and starts it.
+func submitSupervised(t *testing.T) (*Job, <-chan Event) {
+	t.Helper()
+	j, err := Submit(context.Background(), dataflows.Linear(), superviseOpts()...)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	t.Cleanup(j.Stop)
+	events := j.Events()
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return j, events
+}
+
+// waitHealthy polls until the job is back to full strength: supervisor
+// healthy, every executor running, no pending respawns.
+func waitHealthy(t *testing.T, j *Job, wantIncidents int) {
+	t.Helper()
+	// Sources are not executors, so full strength is inner+sink only.
+	all := len(j.Spec().Topology.Instances(topology.RoleInner, topology.RoleSink))
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := j.Status()
+		if st.Health == supervisor.Healthy && st.Incidents >= wantIncidents &&
+			st.RunningExecutors == all && st.PendingRespawns == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never converged: health=%v incidents=%d running=%d/%d pending=%d",
+				st.Health, st.Incidents, st.RunningExecutors, all, st.PendingRespawns)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitZeroLost polls the audit until every payload emitted before the
+// cutoff has arrived (DSM replay convergence).
+func waitZeroLost(t *testing.T, j *Job) {
+	t.Helper()
+	cut := j.Clock().Now()
+	deadline := time.Now().Add(60 * time.Second)
+	for len(j.Engine().Audit().Lost(cut)) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d payloads still lost at cutoff", len(j.Engine().Audit().Lost(cut)))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertTokenFree fails if the control token leaked: the next control
+// operation must not fail fast with ErrBusy once recoveries are done.
+func assertTokenFree(t *testing.T, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := j.Checkpoint(context.Background())
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("post-recovery Checkpoint: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("control token still held after recovery")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSupervisedRecoveryFromUnplannedCrash: a crash with no paired
+// restart is detected by heartbeat loss, respawned, restored from the
+// last committed checkpoint, and reported (events, Status, metrics) —
+// with zero data loss after DSM replay.
+func TestSupervisedRecoveryFromUnplannedCrash(t *testing.T) {
+	j, events := submitSupervised(t)
+	j.Clock().Sleep(10 * time.Second)
+	// Commit a checkpoint so the restore has real state to load.
+	if err := j.Checkpoint(context.Background()); err != nil {
+		t.Fatalf("pre-crash checkpoint: %v", err)
+	}
+
+	victim := pickLive(j)
+	if !j.CrashExecutor(victim) {
+		t.Fatalf("victim %s was not running", victim)
+	}
+	// No RestartExecutor: the supervisor must do it.
+
+	det := waitEvent(t, events, EventFailureDetected, 60*time.Second)
+	if det.Instance != victim {
+		t.Fatalf("detected %s, want %s", det.Instance, victim)
+	}
+	waitEvent(t, events, EventRestoring, 60*time.Second)
+	rec := waitEvent(t, events, EventRecovered, 60*time.Second)
+	if rec.Instance != victim || rec.MTTR <= 0 {
+		t.Fatalf("recovered event = %+v, want victim with positive MTTR", rec)
+	}
+
+	waitHealthy(t, j, 1)
+	waitZeroLost(t, j)
+	assertTokenFree(t, j)
+
+	st := j.Status()
+	if !st.Supervised || st.Incidents != 1 || st.MeanMTTR <= 0 {
+		t.Fatalf("status = %+v, want supervised with 1 incident and positive MTTR", st)
+	}
+	incs := j.Engine().Collector().Incidents()
+	if len(incs) != 1 || incs[0].Instance != victim.String() || incs[0].Degraded {
+		t.Fatalf("collector incidents = %+v", incs)
+	}
+}
+
+// TestDoubleFaultRecrashDuringRestore crashes the recovery's own victim
+// a second time while the first recovery is still in flight. The
+// recovery loop must notice the fresh corpse, respawn it again, and
+// still converge — no control-token deadlock, no leaked respawns.
+func TestDoubleFaultRecrashDuringRestore(t *testing.T) {
+	j, events := submitSupervised(t)
+	j.Clock().Sleep(10 * time.Second)
+
+	victim := pickLive(j)
+	if !j.CrashExecutor(victim) {
+		t.Fatalf("victim %s was not running", victim)
+	}
+	waitEvent(t, events, EventRestoring, 60*time.Second)
+
+	// Second fault: wait for the supervisor's respawn to land, then kill
+	// the same instance again mid-restore.
+	deadline := time.Now().Add(60 * time.Second)
+	for !j.CrashExecutor(victim) {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never respawned for the second crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The supervisor must still converge — via the same incident's
+	// recovery loop or a follow-up detection, either is correct.
+	waitHealthy(t, j, 1)
+	waitZeroLost(t, j)
+	assertTokenFree(t, j)
+	if n := j.Engine().PendingRespawns(); n != 0 {
+		t.Fatalf("pending respawns = %d after double fault, want 0", n)
+	}
+}
+
+// TestDoubleFaultSecondInstanceWhileRecovering crashes a second, distinct
+// instance while the first is being recovered. Both recoveries must
+// complete (they serialize on the control token via busy-retry) with no
+// deadlock and zero loss.
+func TestDoubleFaultSecondInstanceWhileRecovering(t *testing.T) {
+	j, events := submitSupervised(t)
+	j.Clock().Sleep(10 * time.Second)
+
+	inner := j.Spec().Topology.Instances(topology.RoleInner)
+	if len(inner) < 2 {
+		t.Fatal("need two inner instances")
+	}
+	first, second := inner[0], inner[1]
+	if !j.CrashExecutor(first) {
+		t.Fatalf("first victim %s was not running", first)
+	}
+	waitEvent(t, events, EventFailureDetected, 60*time.Second)
+	if !j.CrashExecutor(second) {
+		t.Fatalf("second victim %s was not running", second)
+	}
+
+	waitHealthy(t, j, 2)
+	waitZeroLost(t, j)
+	assertTokenFree(t, j)
+
+	st := j.Status()
+	if st.Incidents < 2 {
+		t.Fatalf("incidents = %d, want >= 2", st.Incidents)
+	}
+}

@@ -60,6 +60,19 @@ const (
 	// EventStopped: the job is stopped; this is the final event before the
 	// stream closes.
 	EventStopped
+	// EventFailureDetected: the supervisor's failure detector declared
+	// Instance dead (heartbeats stopped without a planned respawn).
+	EventFailureDetected
+	// EventRestoring: the supervisor is respawning Instance and driving a
+	// checkpoint-restore wave for it.
+	EventRestoring
+	// EventRecovered: Instance is live and initialized again; MTTR
+	// carries the detection→recovered latency.
+	EventRecovered
+	// EventDegraded: restore kept failing for Instance and the supervisor
+	// fell back to replay-only (empty-state) initialization; Err carries
+	// the terminal restore error.
+	EventDegraded
 )
 
 // String implements fmt.Stringer.
@@ -95,6 +108,14 @@ func (k EventKind) String() string {
 		return "resumed"
 	case EventStopped:
 		return "stopped"
+	case EventFailureDetected:
+		return "failure-detected"
+	case EventRestoring:
+		return "restoring"
+	case EventRecovered:
+		return "recovered"
+	case EventDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -116,6 +137,8 @@ type Event struct {
 	Instance topology.Instance
 	// Rate is the new per-source rate on EventRateChanged.
 	Rate float64
+	// MTTR is the detection→recovered latency on EventRecovered.
+	MTTR time.Duration
 	// Detail carries free-form context (e.g. "completed after
 	// cancellation" on a terminal event following a cancel).
 	Detail string
@@ -133,8 +156,13 @@ func (ev Event) String() string {
 		s += ": " + ev.Strategy
 	case ev.Kind == EventRateChanged:
 		s += fmt.Sprintf(": %.3g ev/s", ev.Rate)
-	case ev.Kind == EventExecutorCrashed || ev.Kind == EventExecutorRestarted:
+	case ev.Kind == EventExecutorCrashed || ev.Kind == EventExecutorRestarted,
+		ev.Kind == EventFailureDetected, ev.Kind == EventRestoring,
+		ev.Kind == EventRecovered, ev.Kind == EventDegraded:
 		s += ": " + ev.Instance.String()
+		if ev.Kind == EventRecovered {
+			s += fmt.Sprintf(" (mttr %v)", ev.MTTR.Round(time.Millisecond))
+		}
 	}
 	if ev.Err != nil {
 		s += " (" + ev.Err.Error() + ")"

@@ -42,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
+	"repro/internal/supervisor"
 	"repro/internal/timex"
 	"repro/internal/topology"
 )
@@ -132,6 +133,7 @@ type Job struct {
 
 	queueControl bool
 	eventBuffer  int
+	sup          *supervisor.Supervisor // nil without WithSupervision
 
 	ctrl       chan struct{} // capacity-1 control token
 	state      atomic.Int32
@@ -197,6 +199,12 @@ func Submit(ctx context.Context, spec dataflows.Spec, opts ...Option) (*Job, err
 	if o.overrides != nil {
 		o.overrides(&cfg)
 	}
+	supPol := o.supPolicy.WithDefaults()
+	if o.supervise {
+		// The executor pulse and the detector sweep share one cadence;
+		// setting it before the engine is built turns the heartbeats on.
+		cfg.HeartbeatInterval = supPol.HeartbeatInterval
+	}
 
 	clock := o.clock
 	if clock == nil {
@@ -261,6 +269,9 @@ func Submit(ctx context.Context, spec dataflows.Spec, opts ...Option) (*Job, err
 		submitted:    clock.Now(),
 	}
 	j.state.Store(int32(StatePending))
+	if o.supervise {
+		j.attachSupervisor(supPol)
+	}
 	eng.SetPhaseHook(func(p runtime.MigrationPhase) {
 		j.notifyPhase(p)
 		j.emit(Event{Kind: EventMigrationPhase, Phase: p})
@@ -301,6 +312,9 @@ func (j *Job) Start() error {
 		return nil
 	}
 	j.eng.Start()
+	if j.sup != nil {
+		j.sup.Start()
+	}
 	j.emit(Event{Kind: EventStarted})
 	return nil
 }
@@ -312,6 +326,12 @@ func (j *Job) Start() error {
 func (j *Job) Stop() {
 	j.stopOnce.Do(func() {
 		j.state.Store(int32(StateStopped))
+		if j.sup != nil {
+			// Stop supervision first: recovery loops observe the stopped
+			// state (ErrHalted) and drain before the engine is torn down,
+			// so no recovery races the teardown.
+			j.sup.Stop()
+		}
 		j.eng.Stop()
 		j.emit(Event{Kind: EventStopped})
 		j.closeSubs()
@@ -714,6 +734,16 @@ type Status struct {
 	Migrations int64
 	// EventsDropped counts events dropped on full subscriber buffers.
 	EventsDropped uint64
+	// Supervised reports whether the job runs with WithSupervision; the
+	// fields below are zero without it.
+	Supervised bool
+	// Health is the supervisor's verdict (healthy/recovering/degraded).
+	Health supervisor.Health
+	// Incidents counts completed recoveries; MeanMTTR averages their
+	// detection→recovered latency.
+	Incidents int
+	// MeanMTTR is the mean recovery latency across incidents.
+	MeanMTTR time.Duration
 }
 
 // Status snapshots the job.
@@ -721,6 +751,18 @@ func (j *Job) Status() Status {
 	backlog := 0
 	for _, d := range j.eng.QueueDepths() {
 		backlog += d
+	}
+	var (
+		supervised bool
+		health     supervisor.Health
+		incidents  int
+		meanMTTR   time.Duration
+	)
+	if j.sup != nil {
+		supervised = true
+		health = j.sup.Health()
+		stats := j.eng.Collector().MTTR()
+		incidents, meanMTTR = stats.Incidents, stats.Mean
 	}
 	return Status{
 		State:            j.State(),
@@ -735,6 +777,10 @@ func (j *Job) Status() Status {
 		BillingRate:      j.clus.RatePerMinute(),
 		Migrations:       j.migrations.Load(),
 		EventsDropped:    j.dropped.Load(),
+		Supervised:       supervised,
+		Health:           health,
+		Incidents:        incidents,
+		MeanMTTR:         meanMTTR,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
+	"repro/internal/supervisor"
 	"repro/internal/timex"
 	"repro/internal/workload"
 )
@@ -32,6 +33,8 @@ type options struct {
 	fleetSet     bool
 	queueControl bool
 	eventBuffer  int
+	supervise    bool
+	supPolicy    supervisor.Policy
 }
 
 func defaultOptions() options {
@@ -98,6 +101,19 @@ func WithInitialFleet(t cluster.VMType, n int) Option {
 // Drain, Checkpoint) wait their turn instead of failing fast with
 // ErrBusy. Waiting respects the operation's context.
 func WithQueuedControl() Option { return func(o *options) { o.queueControl = true } }
+
+// WithSupervision makes the job self-healing: every executor publishes
+// paper-time heartbeats at the policy's interval, and a supervisor
+// monitors them, respawning unexpectedly dead executors and restoring
+// them from the last completed checkpoint (falling back to replay-only
+// initialization when restore keeps failing). Recovery progress is
+// published on the Events stream (EventFailureDetected / EventRestoring
+// / EventRecovered / EventDegraded) and completed incidents are
+// recorded in the metrics collector. Zero policy fields take the
+// supervisor package defaults.
+func WithSupervision(p supervisor.Policy) Option {
+	return func(o *options) { o.supervise, o.supPolicy = true, p }
+}
 
 // WithEventBuffer sets the per-subscriber buffer of the Events stream
 // (default 64). Events beyond a full buffer are dropped, not blocked on.

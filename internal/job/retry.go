@@ -1,0 +1,181 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/timex"
+	"repro/internal/tuple"
+)
+
+// RetryPolicy hardens a control-plane enactment against transient
+// failures: a busy control token, a checkpoint wave that timed out on a
+// slow executor, or an enactment stuck past its per-attempt deadline.
+// Durations are paper time.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries (default 3; 1 means no retry).
+	MaxAttempts int
+	// BaseDelay seeds the capped exponential backoff between attempts
+	// (default 2s).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 30s).
+	MaxDelay time.Duration
+	// Timeout bounds each attempt; zero means no per-attempt deadline.
+	// A timed-out migration is abandoned mid-flight: the strategy
+	// unwinds in the background (checkpoint waves roll back on their own
+	// timeouts) while control stays held, and the next attempt's ErrBusy
+	// backoff waits the unwind out before re-enacting.
+	Timeout time.Duration
+	// JitterSeed derandomizes the backoff jitter for reproducible runs.
+	JitterSeed int64
+}
+
+// DefaultRetryPolicy returns the stock hardening policy: 3 attempts,
+// 2s→30s capped exponential backoff, 5min per-attempt deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   2 * time.Second,
+		MaxDelay:    30 * time.Second,
+		Timeout:     5 * time.Minute,
+	}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	return p
+}
+
+// backoff returns the pause before attempt i (0-based), a capped
+// exponential with deterministic jitter in [0, BaseDelay): retries of
+// concurrent enactments decorrelate without nondeterministic rand.
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.BaseDelay << uint(i)
+	if d <= 0 || d > p.MaxDelay { // <<-overflow guard
+		d = p.MaxDelay
+	}
+	if p.BaseDelay > 0 {
+		j := tuple.Mix64(uint64(p.JitterSeed) ^ uint64(i+1))
+		d += time.Duration(j % uint64(p.BaseDelay))
+	}
+	return d
+}
+
+// retryable classifies err: a busy control plane, a timed-out
+// checkpoint/restore wave, and an attempt that hit its per-attempt
+// deadline are transient; everything else (stopped job, bad strategy,
+// caller cancellation) is terminal.
+func retryable(err error, attemptCtx context.Context) bool {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return true
+	case errors.Is(err, checkpoint.ErrWaveTimeout):
+		return true
+	case errors.Is(err, context.DeadlineExceeded) && attemptCtx.Err() != nil:
+		// The per-attempt deadline fired (not the caller's context).
+		return true
+	}
+	return false
+}
+
+// enactWithRetry runs enact under pol: per-attempt deadline, retry on
+// transient errors, capped exponential backoff between attempts. The
+// backoff sleeps on the job clock and aborts on caller cancellation or
+// job shutdown.
+func (j *Job) enactWithRetry(ctx context.Context, pol RetryPolicy, op string, enact func(context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pol = pol.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !j.sleepBackoff(ctx, pol.backoff(attempt-1)) {
+				return errors.Join(ctx.Err(), lastErr)
+			}
+		}
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if pol.Timeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, wallDuration(j.clock, pol.Timeout))
+		}
+		err := enact(attemptCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err // the caller canceled; don't mask it with retries
+		}
+		if !retryable(err, attemptCtx) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("job: %s failed after %d attempts: %w", op, pol.MaxAttempts, lastErr)
+}
+
+// sleepBackoff pauses for d of paper time, reporting false if the
+// caller's context or the job ended first.
+func (j *Job) sleepBackoff(ctx context.Context, d time.Duration) bool {
+	deadline := j.clock.Now().Add(d)
+	wake := make(chan struct{})
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-j.done:
+		case <-stop:
+		}
+		close(wake)
+	}()
+	woken := timex.WaitUntil(j.clock, deadline, wake)
+	if !woken {
+		return true
+	}
+	return ctx.Err() == nil && j.State() != StateStopped
+}
+
+// wallDuration converts a paper-time duration to the wall duration a
+// context deadline needs: context deadlines run on the OS clock, so on
+// a compressed clock the paper timeout must be compressed too.
+func wallDuration(c timex.Clock, d time.Duration) time.Duration {
+	if sc, ok := c.(*timex.ScaledClock); ok {
+		return time.Duration(float64(d) * sc.Scale())
+	}
+	return d
+}
+
+// MigrateWithRetry is Migrate hardened by pol: transient failures (busy
+// control plane, timed-out waves, an attempt stuck past its deadline)
+// are retried with capped exponential backoff instead of surfacing to
+// the caller. A crash mid-migration resolves as abort → rollback (the
+// wave timeout rolls the dataflow back onto the old schedule) →
+// re-enact, rather than a stranded control token.
+func (j *Job) MigrateWithRetry(ctx context.Context, strat core.Strategy, target *scheduler.Schedule, pol RetryPolicy) error {
+	return j.enactWithRetry(ctx, pol, "migrate", func(actx context.Context) error {
+		return j.Migrate(actx, strat, target)
+	})
+}
+
+// ScaleWithRetry is Scale hardened by pol (see MigrateWithRetry).
+func (j *Job) ScaleWithRetry(ctx context.Context, dir Direction, pol RetryPolicy) error {
+	return j.enactWithRetry(ctx, pol, "scale", func(actx context.Context) error {
+		return j.Scale(actx, dir)
+	})
+}

@@ -1,0 +1,133 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffDeterministicAndCapped: the backoff grows
+// exponentially from BaseDelay, never exceeds MaxDelay+jitter, and is
+// reproducible for a fixed seed.
+func TestRetryBackoffDeterministicAndCapped(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Second, MaxDelay: 10 * time.Second, JitterSeed: 42}
+	prev := time.Duration(0)
+	for i := 0; i < 8; i++ {
+		d := pol.backoff(i)
+		if d < time.Second || d > 10*time.Second+time.Second {
+			t.Fatalf("backoff(%d) = %v, want within [1s, 11s)", i, d)
+		}
+		if pol.backoff(i) != d {
+			t.Fatalf("backoff(%d) not deterministic", i)
+		}
+		if i < 3 && d < prev {
+			t.Fatalf("backoff(%d) = %v shrank below backoff(%d)", i, d, i-1)
+		}
+		prev = d
+	}
+	if DefaultRetryPolicy().MaxAttempts != 3 {
+		t.Fatalf("DefaultRetryPolicy = %+v", DefaultRetryPolicy())
+	}
+}
+
+// TestMigrateWithRetryRidesOutBusy: an enactment that first finds the
+// control token held succeeds on a later attempt once the token frees,
+// instead of surfacing ErrBusy.
+func TestMigrateWithRetryRidesOutBusy(t *testing.T) {
+	j := submitLinear(t)
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 20)
+	target := spareSchedule(t, j)
+
+	// Hold the control token directly, then free it while the retry loop
+	// is backing off.
+	j.ctrl <- struct{}{}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		j.release()
+	}()
+
+	pol := RetryPolicy{MaxAttempts: 6, BaseDelay: 2 * time.Second, MaxDelay: 8 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- j.MigrateWithRetry(context.Background(), nil, target, pol) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("MigrateWithRetry: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("MigrateWithRetry never completed")
+	}
+	if got := j.Status().Migrations; got != 1 {
+		t.Fatalf("migrations = %d, want 1", got)
+	}
+}
+
+// TestRetryGivesUpAfterMaxAttempts: a token that never frees exhausts
+// MaxAttempts and surfaces ErrBusy wrapped with attempt context.
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	j := submitLinear(t)
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 5)
+	target := spareSchedule(t, j)
+
+	j.ctrl <- struct{}{} // held for the whole test
+	defer j.release()
+
+	pol := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Second, MaxDelay: time.Second}
+	err := j.MigrateWithRetry(context.Background(), nil, target, pol)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("exhausted retry = %v, want wrapped ErrBusy", err)
+	}
+}
+
+// TestRetryTerminalErrorsFailFast: non-transient errors (wrong strategy
+// mode, nil target) are not retried.
+func TestRetryTerminalErrorsFailFast(t *testing.T) {
+	j := submitLinear(t) // ModeCCR engine
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	start := time.Now()
+	err := j.MigrateWithRetry(context.Background(), nil, nil, RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Second})
+	if err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("terminal error was retried (took too long)")
+	}
+}
+
+// TestRetryRespectsCallerCancel: the caller's own cancellation is never
+// retried away and aborts the backoff promptly.
+func TestRetryRespectsCallerCancel(t *testing.T) {
+	j := submitLinear(t)
+	if err := j.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitSinkArrivals(t, j, 5)
+	target := spareSchedule(t, j)
+
+	j.ctrl <- struct{}{} // force ErrBusy so the loop reaches its backoff
+	defer j.release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	pol := RetryPolicy{MaxAttempts: 100, BaseDelay: 30 * time.Second, MaxDelay: time.Minute}
+	go func() { done <- j.MigrateWithRetry(ctx, nil, target, pol) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled retry returned nil")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled MigrateWithRetry did not return")
+	}
+}

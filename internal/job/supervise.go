@@ -1,0 +1,108 @@
+package job
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/supervisor"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+)
+
+// jobRuntime adapts the job's engine and control plane to
+// supervisor.Runtime. Observation calls go straight to the engine;
+// RestoreWave goes through the job's control token so a recovery never
+// interleaves with a migration, scale or checkpoint.
+type jobRuntime struct{ j *Job }
+
+func (r jobRuntime) Instances() []topology.Instance {
+	// Sources are excluded: they are pinned, never killed by a
+	// rebalance, and their loss is not recoverable by checkpoint restore.
+	return r.j.eng.Topology().Instances(topology.RoleInner, topology.RoleSink)
+}
+
+func (r jobRuntime) Live(inst topology.Instance) bool {
+	return r.j.eng.Executor(inst) != nil
+}
+
+func (r jobRuntime) LastHeartbeat(inst topology.Instance) (time.Time, bool) {
+	return r.j.eng.LastHeartbeat(inst)
+}
+
+func (r jobRuntime) MidRespawn(inst topology.Instance) bool {
+	return r.j.eng.MidRespawn(inst)
+}
+
+func (r jobRuntime) Initialized(inst topology.Instance) bool {
+	ex := r.j.eng.Executor(inst)
+	return ex != nil && ex.Initialized()
+}
+
+func (r jobRuntime) Restart(inst topology.Instance) {
+	r.j.RestartExecutor(inst)
+}
+
+func (r jobRuntime) ForceInitialize(inst topology.Instance) bool {
+	return r.j.eng.ForceInitialize(inst)
+}
+
+// RestoreWave drives one INIT wave over the dataflow — the same wave a
+// migration's restore step runs — so the respawned executor re-reads
+// its last committed checkpoint from the state store. The control token
+// is taken fail-fast: if an enactment is in flight its own INIT wave
+// will initialize the fresh executor, so busy is a retry, not an error.
+func (r jobRuntime) RestoreWave(maxWait time.Duration) error {
+	j := r.j
+	if j.State() == StateStopped {
+		return supervisor.ErrHalted
+	}
+	select {
+	case j.ctrl <- struct{}{}:
+	default:
+		return supervisor.ErrControlBusy
+	}
+	defer j.release()
+	if j.State() == StateStopped {
+		return supervisor.ErrHalted
+	}
+	delivery := checkpoint.Sequential
+	if j.cfg.Mode == runtime.ModeCCR {
+		delivery = checkpoint.Broadcast
+	}
+	err := j.eng.Coordinator().RunWave(tuple.Init, delivery, j.cfg.InitResend, maxWait)
+	if errors.Is(err, checkpoint.ErrClosed) {
+		return supervisor.ErrHalted
+	}
+	return err
+}
+
+// attachSupervisor builds the job's supervisor (Submit calls this when
+// WithSupervision was given). Incident notifications fan out to the
+// Events stream and, on recovery, into the metrics collector.
+func (j *Job) attachSupervisor(pol supervisor.Policy) {
+	j.sup = supervisor.New(jobRuntime{j}, j.clock, pol, func(ev supervisor.IncidentEvent) {
+		switch ev.Phase {
+		case supervisor.PhaseDetected:
+			j.emit(Event{Kind: EventFailureDetected, Instance: ev.Instance})
+		case supervisor.PhaseRestoring:
+			j.emit(Event{Kind: EventRestoring, Instance: ev.Instance})
+		case supervisor.PhaseRecovered:
+			j.eng.Collector().RecordIncident(metrics.Incident{
+				Instance:    ev.Instance.String(),
+				DetectedAt:  ev.At.Add(-ev.MTTR),
+				RecoveredAt: ev.At,
+				Degraded:    ev.Degraded,
+			})
+			j.emit(Event{Kind: EventRecovered, Instance: ev.Instance, MTTR: ev.MTTR})
+		case supervisor.PhaseDegraded:
+			j.emit(Event{Kind: EventDegraded, Instance: ev.Instance, Err: ev.Err})
+		}
+	})
+}
+
+// Supervisor returns the job's supervisor, or nil when the job was
+// submitted without WithSupervision.
+func (j *Job) Supervisor() *supervisor.Supervisor { return j.sup }

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Incident is one detected-and-recovered executor failure, recorded by
+// the supervisor. All timestamps are paper time.
+type Incident struct {
+	// Instance is the failed executor's instance key.
+	Instance string
+	// DetectedAt is when the failure detector declared the instance dead;
+	// RecoveredAt is when it was back to processing data.
+	DetectedAt, RecoveredAt time.Time
+	// Degraded marks a recovery that fell back to replay-only restore
+	// after repeated checkpoint-restore failures.
+	Degraded bool
+}
+
+// MTTR is the incident's detection→recovered latency.
+func (i Incident) MTTR() time.Duration { return i.RecoveredAt.Sub(i.DetectedAt) }
+
+// MTTRStats summarizes the recorded incidents.
+type MTTRStats struct {
+	// Incidents counts recoveries; Degraded counts those that fell back
+	// to replay-only restore.
+	Incidents, Degraded int
+	// Mean and Max aggregate detection→recovered latency.
+	Mean, Max time.Duration
+}
+
+// incidentLog is the Collector's incident store. Incidents are rare
+// (one per unplanned failure), so a plain mutex-guarded slice — separate
+// from the sharded hot-path recording — is plenty.
+type incidentLog struct {
+	mu        sync.Mutex
+	incidents []Incident
+}
+
+// RecordIncident appends one recovered failure.
+func (c *Collector) RecordIncident(inc Incident) {
+	c.inc.mu.Lock()
+	defer c.inc.mu.Unlock()
+	c.inc.incidents = append(c.inc.incidents, inc)
+}
+
+// Incidents returns a copy of the recorded incidents in order.
+func (c *Collector) Incidents() []Incident {
+	c.inc.mu.Lock()
+	defer c.inc.mu.Unlock()
+	return append([]Incident(nil), c.inc.incidents...)
+}
+
+// MTTR summarizes the recorded incidents.
+func (c *Collector) MTTR() MTTRStats {
+	c.inc.mu.Lock()
+	defer c.inc.mu.Unlock()
+	var s MTTRStats
+	var sum time.Duration
+	for _, inc := range c.inc.incidents {
+		s.Incidents++
+		if inc.Degraded {
+			s.Degraded++
+		}
+		d := inc.MTTR()
+		sum += d
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	if s.Incidents > 0 {
+		s.Mean = sum / time.Duration(s.Incidents)
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+)
+
+func TestIncidentRecordingAndMTTR(t *testing.T) {
+	clock := timex.NewManual()
+	c := NewCollector(clock)
+
+	if got := c.MTTR(); got.Incidents != 0 || got.Mean != 0 {
+		t.Fatalf("empty MTTR = %+v, want zero", got)
+	}
+
+	base := clock.Now()
+	c.RecordIncident(Incident{
+		Instance:    "op[0]",
+		DetectedAt:  base,
+		RecoveredAt: base.Add(4 * time.Second),
+	})
+	c.RecordIncident(Incident{
+		Instance:    "op[1]",
+		DetectedAt:  base.Add(10 * time.Second),
+		RecoveredAt: base.Add(22 * time.Second),
+		Degraded:    true,
+	})
+
+	incs := c.Incidents()
+	if len(incs) != 2 || incs[0].Instance != "op[0]" || incs[1].Instance != "op[1]" {
+		t.Fatalf("Incidents() = %+v", incs)
+	}
+	if incs[0].MTTR() != 4*time.Second {
+		t.Fatalf("MTTR[0] = %v, want 4s", incs[0].MTTR())
+	}
+
+	stats := c.MTTR()
+	if stats.Incidents != 2 || stats.Degraded != 1 {
+		t.Fatalf("stats counts = %+v, want 2 incidents / 1 degraded", stats)
+	}
+	if stats.Mean != 8*time.Second || stats.Max != 12*time.Second {
+		t.Fatalf("stats mean/max = %v/%v, want 8s/12s", stats.Mean, stats.Max)
+	}
+
+	// The returned slice must be a copy, not an alias.
+	incs[0].Instance = "mutated"
+	if c.Incidents()[0].Instance != "op[0]" {
+		t.Fatal("Incidents() aliases internal storage")
+	}
+}

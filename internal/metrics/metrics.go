@@ -92,6 +92,8 @@ type Collector struct {
 
 	def *Reporter // backs the legacy method-based recording API
 
+	inc incidentLog // supervisor failure/recovery records (see incidents.go)
+
 	mu        sync.Mutex
 	start     time.Time
 	requested time.Time // migration request instant

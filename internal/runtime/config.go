@@ -129,6 +129,12 @@ type Config struct {
 	// WorkerJitter adds uniform random startup noise in [0, WorkerJitter).
 	WorkerJitter time.Duration
 
+	// HeartbeatInterval, when positive, makes every executor publish a
+	// liveness heartbeat each interval (paper time). The supervisor's
+	// failure detector consumes them; zero disables the pulse entirely
+	// (unsupervised jobs pay nothing).
+	HeartbeatInterval time.Duration
+
 	// KeySelector, when set, derives each root event's routing key from
 	// its payload sequence number instead of the default uniform hash —
 	// the hook adversarial workloads use to inject key skew and hot

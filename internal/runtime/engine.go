@@ -64,6 +64,7 @@ type Engine struct {
 	placementInst map[topology.Instance]cluster.SlotRef // same placements, instance-keyed for the send hot path
 	executors     map[topology.Instance]*Executor
 	pendingSpawn  map[topology.Instance]*spawnBuffer
+	migrating     map[topology.Instance]bool // killed by Rebalance, respawn not yet scheduled/fired
 	sources       []*Source
 	innerSchedule *scheduler.Schedule
 	respawnTimers map[uint64]timex.Timer // pending only; fired timers remove themselves
@@ -93,6 +94,13 @@ type Engine struct {
 	// phaseHook, when set, observes migration phase transitions (the Job
 	// control plane turns them into events). Holds a func(MigrationPhase).
 	phaseHook atomic.Value
+
+	// heartbeats holds the per-instance liveness pulse slots (paper-time
+	// UnixNano of the last beat); see pulse.go. Guarded by hbMu, not mu:
+	// beats are published from pulse goroutines that must not contend
+	// with the engine's structural lock.
+	hbMu       sync.Mutex
+	heartbeats map[topology.Instance]*atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -147,6 +155,8 @@ func New(p Params) (*Engine, error) {
 		placementInst: make(map[topology.Instance]cluster.SlotRef),
 		executors:     make(map[topology.Instance]*Executor),
 		pendingSpawn:  make(map[topology.Instance]*spawnBuffer),
+		migrating:     make(map[topology.Instance]bool),
+		heartbeats:    make(map[topology.Instance]*atomic.Int64),
 		respawnTimers: make(map[uint64]timex.Timer),
 		innerSchedule: p.InnerSchedule,
 		shuffle:       make(map[edgeKey]*atomic.Uint64),
@@ -243,6 +253,7 @@ func (e *Engine) Start() {
 		e.executors[inst] = ex
 		e.wg.Add(1)
 		go ex.run()
+		e.startPulse(ex)
 	}
 	for _, inst := range e.topo.Instances(topology.RoleSource) {
 		s := newSource(e, inst)
@@ -489,6 +500,12 @@ func (e *Engine) Rebalance(newSched *scheduler.Schedule) []topology.Instance {
 	e.mu.Lock()
 	migrating := scheduler.Diff(e.innerSchedule, newSched)
 	for _, inst := range migrating {
+		// Mark the instance down-by-design before the kill so a failure
+		// detector polling MidRespawn never sees an unexplained corpse —
+		// the window between this kill and the respawn timer being
+		// scheduled (the rebalance command runtime) would otherwise read
+		// as an unplanned death.
+		e.migrating[inst] = true
 		if ex := e.executors[inst]; ex != nil {
 			delete(e.executors, inst)
 			e.lostKill.Add(int64(ex.Kill()))
@@ -592,6 +609,7 @@ func (e *Engine) spawn(inst topology.Instance) {
 	}
 	buf := e.pendingSpawn[inst]
 	delete(e.pendingSpawn, inst)
+	delete(e.migrating, inst)
 	if _, exists := e.executors[inst]; exists {
 		if buf != nil {
 			// Unregistered without a flush target: mark the buffer dead
@@ -620,6 +638,7 @@ func (e *Engine) spawn(inst topology.Instance) {
 	e.executors[inst] = ex
 	e.wg.Add(1)
 	go ex.run()
+	e.startPulse(ex)
 }
 
 // CrashExecutor kills an executor abruptly (fault injection): its queue

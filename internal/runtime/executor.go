@@ -36,6 +36,15 @@ type Executor struct {
 
 	killed atomic.Bool
 
+	// pulseStop ends the heartbeat goroutine (see pulse.go); closed once
+	// by Kill.
+	pulseStop chan struct{}
+	pulseOnce sync.Once
+
+	// initDone mirrors the goroutine-private initialized flag for
+	// cross-goroutine readers (the supervisor's recovery loop polls it).
+	initDone atomic.Bool
+
 	// pause gates the consumption loop. The paper's DCR/CCR pause the
 	// user sink during migration (Fig. 2), so no output leaves the
 	// dataflow between the request and the post-INIT unpause; events
@@ -143,6 +152,7 @@ func newExecutor(eng *Engine, inst topology.Instance, initialized bool) *Executo
 		logic:       eng.factory(inst.Task, inst.Index),
 		store:       statestore.NewClient(eng.store, eng.clock, eng.cfg.StoreLatency),
 		initialized: initialized,
+		pulseStop:   make(chan struct{}),
 		aligned:     make(map[alignKey]int),
 		forwarded:   make(map[alignKey]bool),
 		expectAlign: eng.expectAlign[inst.Task],
@@ -150,6 +160,7 @@ func newExecutor(eng *Engine, inst topology.Instance, initialized bool) *Executo
 	if !task.Stateful {
 		ex.initialized = true
 	}
+	ex.initDone.Store(ex.initialized)
 	if task.Role == topology.RoleSink {
 		ex.rep = eng.collector.Reporter()
 	}
@@ -429,6 +440,7 @@ func (ex *Executor) handleInit(ev *tuple.Event) {
 		restored = blob.Pending
 	}
 	ex.initialized = true
+	ex.initDone.Store(true)
 	if !ev.Broadcast {
 		ex.forwardOnce(ev)
 	}
@@ -480,6 +492,7 @@ func (ex *Executor) ackWave(ev *tuple.Event) {
 // closed queue (and counted as a fabric drop) — never silently lost.
 func (ex *Executor) Kill() (droppedData int) {
 	ex.killed.Store(true)
+	ex.pulseOnce.Do(func() { close(ex.pulseStop) })
 	ex.pauseMu.Lock()
 	ex.pauseWake.Broadcast() // release a paused loop so it can exit
 	ex.pauseMu.Unlock()
@@ -498,6 +511,12 @@ func (ex *Executor) Instance() topology.Instance { return ex.inst }
 
 // QueueLen reports the current input queue depth (diagnostics).
 func (ex *Executor) QueueLen() int { return ex.in.Len() }
+
+// Initialized reports whether the executor has restored (or never
+// needed) its committed state and is processing data. Safe to call from
+// any goroutine — the supervisor's recovery loop polls it to decide
+// whether a respawned instance still needs an INIT wave.
+func (ex *Executor) Initialized() bool { return ex.initDone.Load() }
 
 // Logic exposes the user logic for test assertions.
 func (ex *Executor) Logic() workload.Logic { return ex.logic }

@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/timex"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+)
+
+// The heartbeat pulse: every executor, when Config.HeartbeatInterval is
+// positive, runs one extra goroutine that publishes the current paper
+// time into a per-instance slot each interval. A failure detector (the
+// supervisor) reads the slots and declares an instance dead after K
+// missed deadlines. Everything is paper time — under a compressed clock
+// the beats compress with every other protocol constant, so a slow wall
+// clock (a loaded 1-CPU CI box) can never starve the pulse relative to
+// the detector's deadline: both derive from the same clock.
+//
+// The pulse goroutine is deliberately independent of the executor's run
+// loop: a paused sink (DCR/CCR pause sinks mid-migration) or an executor
+// stalled on task latency keeps beating — only Kill stops the pulse, so
+// a stale beat means the executor is genuinely gone.
+
+// beatSlot returns the heartbeat slot for an instance, creating it on
+// first use.
+func (e *Engine) beatSlot(inst topology.Instance) *atomic.Int64 {
+	e.hbMu.Lock()
+	defer e.hbMu.Unlock()
+	slot := e.heartbeats[inst]
+	if slot == nil {
+		slot = &atomic.Int64{}
+		e.heartbeats[inst] = slot
+	}
+	return slot
+}
+
+// publishBeat records a heartbeat for inst at the current paper time.
+func (e *Engine) publishBeat(inst topology.Instance) {
+	e.beatSlot(inst).Store(e.clock.Now().UnixNano())
+}
+
+// LastHeartbeat reports the paper-time instant of inst's most recent
+// heartbeat. ok is false when the instance has never beat (heartbeats
+// disabled, or the instance was never spawned).
+func (e *Engine) LastHeartbeat(inst topology.Instance) (time.Time, bool) {
+	e.hbMu.Lock()
+	slot := e.heartbeats[inst]
+	e.hbMu.Unlock()
+	if slot == nil {
+		return time.Time{}, false
+	}
+	n := slot.Load()
+	if n == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, n), true
+}
+
+// MidRespawn reports whether inst is down by design: killed by a
+// rebalance and awaiting its scheduled worker respawn. A failure
+// detector must not declare such an instance dead — the engine will
+// bring it back on its own. Covers the whole window from the rebalance
+// kill to the respawn's spawn, including the rebalance command runtime
+// before the new assignment (and its transport buffer) exists.
+func (e *Engine) MidRespawn(inst topology.Instance) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.migrating[inst] {
+		return true
+	}
+	_, pending := e.pendingSpawn[inst]
+	return pending
+}
+
+// ForceInitialize pushes a synthetic broadcast INIT (wave 0, ignored by
+// the coordinator's ack routing) straight onto inst's input queue,
+// making a respawned stateful executor restore whatever checkpoint blob
+// the store holds — or start empty if none — without any coordinator
+// wave. This is the supervisor's degradation path: when coordinated
+// restore keeps failing, forcing initialization converts the recovery to
+// DSM-style replay-only (the acker re-emits everything the crash
+// dropped) instead of wedging the instance forever. Reports whether the
+// event was accepted (false: instance down or queue closed).
+func (e *Engine) ForceInitialize(inst topology.Instance) bool {
+	e.mu.RLock()
+	ex := e.executors[inst]
+	e.mu.RUnlock()
+	if ex == nil || ex.killed.Load() {
+		return false
+	}
+	return ex.in.Push(&tuple.Event{
+		ID:        e.idgen.Next(),
+		Kind:      tuple.Init,
+		Wave:      0,
+		SrcTask:   checkpoint.CoordinatorTask,
+		Broadcast: true,
+	})
+}
+
+// pulse is the heartbeat goroutine body: beat, wait one interval on the
+// paper clock, repeat until the executor is killed.
+func (ex *Executor) pulse(interval time.Duration) {
+	defer ex.eng.wg.Done()
+	for {
+		ex.eng.publishBeat(ex.inst)
+		next := ex.eng.clock.Now().Add(interval)
+		if timex.WaitUntil(ex.eng.clock, next, ex.pulseStop) {
+			return // killed
+		}
+	}
+}
+
+// startPulse launches the heartbeat goroutine when configured. The
+// first beat is published synchronously before the goroutine starts, so
+// a freshly spawned executor is never observed with a stale slot.
+func (e *Engine) startPulse(ex *Executor) {
+	if e.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	e.publishBeat(ex.inst)
+	e.wg.Add(1)
+	go ex.pulse(e.cfg.HeartbeatInterval)
+}

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// pulseConfig is testConfig with the heartbeat pulse enabled.
+func pulseConfig(mode Mode) Config {
+	cfg := testConfig(mode)
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	return cfg
+}
+
+func TestPulseBeatsWhileRunningAndGoesStaleOnCrash(t *testing.T) {
+	h := newHarnessCfg(t, linear3(), pulseConfig(ModeDCR))
+	h.eng.Start()
+	defer h.eng.Stop()
+
+	insts := h.eng.Topology().Instances(topology.RoleInner, topology.RoleSink)
+	// Every executor beats, and keeps beating: the slot must advance
+	// past its first (synchronous) value.
+	first := make(map[topology.Instance]time.Time)
+	for _, inst := range insts {
+		beat, ok := h.eng.LastHeartbeat(inst)
+		if !ok {
+			t.Fatalf("%s never beat", inst)
+		}
+		first[inst] = beat
+	}
+	waitUntil(t, 5*time.Second, "second beats", func() bool {
+		for _, inst := range insts {
+			beat, ok := h.eng.LastHeartbeat(inst)
+			if !ok || !beat.After(first[inst]) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A crash stops the victim's pulse — the slot freezes (stale, not
+	// missing) while survivors keep beating.
+	victim := topology.Instance{Task: "T2", Index: 0}
+	if !h.eng.CrashExecutor(victim) {
+		t.Fatal("CrashExecutor found no executor")
+	}
+	var frozen time.Time
+	waitUntil(t, 5*time.Second, "pulse freeze", func() bool {
+		beat, ok := h.eng.LastHeartbeat(victim)
+		if !ok {
+			t.Fatal("crashed instance lost its slot")
+		}
+		if frozen.IsZero() || beat.After(frozen) {
+			frozen = beat
+			return false
+		}
+		return true
+	})
+	time.Sleep(50 * time.Millisecond)
+	if beat, _ := h.eng.LastHeartbeat(victim); beat.After(frozen) {
+		t.Fatalf("crashed instance kept beating: %v after %v", beat, frozen)
+	}
+	other := topology.Instance{Task: "T1", Index: 0}
+	last, _ := h.eng.LastHeartbeat(other)
+	waitUntil(t, 5*time.Second, "survivor beats", func() bool {
+		beat, ok := h.eng.LastHeartbeat(other)
+		return ok && beat.After(last)
+	})
+}
+
+func TestPulseDisabledByDefault(t *testing.T) {
+	h := newHarness(t, linear3(), ModeDCR)
+	h.eng.Start()
+	defer h.eng.Stop()
+	if _, ok := h.eng.LastHeartbeat(topology.Instance{Task: "T1", Index: 0}); ok {
+		t.Fatal("heartbeat published with HeartbeatInterval unset")
+	}
+}
+
+func TestMidRespawnCoversRebalanceWindow(t *testing.T) {
+	h := newHarnessCfg(t, linear3(), pulseConfig(ModeDCR))
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+
+	killed := h.eng.Rebalance(h.newSchedule(t))
+	if len(killed) == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	// Between the rebalance kill and the worker respawn the instance is
+	// down by design: a failure detector must not flag it.
+	moved := killed[0]
+	if h.eng.Executor(moved) == nil && !h.eng.MidRespawn(moved) {
+		t.Fatalf("%s down after rebalance but not MidRespawn", moved)
+	}
+	waitUntil(t, 10*time.Second, "respawn", func() bool {
+		return h.eng.Executor(moved) != nil
+	})
+	waitUntil(t, 5*time.Second, "respawn window closed", func() bool {
+		return !h.eng.MidRespawn(moved)
+	})
+	// The respawned executor's pulse restarts with it.
+	last, ok := h.eng.LastHeartbeat(moved)
+	if !ok {
+		t.Fatalf("%s has no beat after respawn", moved)
+	}
+	waitUntil(t, 5*time.Second, "post-respawn beats", func() bool {
+		beat, _ := h.eng.LastHeartbeat(moved)
+		return beat.After(last)
+	})
+}
+
+func TestForceInitializeRestoresWithoutCoordinatorWave(t *testing.T) {
+	h := newHarnessCfg(t, linear3(), pulseConfig(ModeDSM))
+	h.eng.Start()
+	defer h.eng.Stop()
+	waitUntil(t, 10*time.Second, "flow", func() bool {
+		return h.eng.Audit().SinkArrivals() >= 10
+	})
+
+	inst := topology.Instance{Task: "T2", Index: 0}
+	if h.eng.ForceInitialize(topology.Instance{Task: "T2", Index: 9}) {
+		t.Fatal("ForceInitialize accepted an unknown instance")
+	}
+	h.eng.CrashExecutor(inst)
+	if h.eng.ForceInitialize(inst) {
+		t.Fatal("ForceInitialize accepted a dead instance")
+	}
+	h.eng.RestartExecutor(inst)
+	waitUntil(t, 10*time.Second, "respawn", func() bool {
+		ex := h.eng.Executor(inst)
+		return ex != nil && !ex.Initialized()
+	})
+	if !h.eng.ForceInitialize(inst) {
+		t.Fatal("ForceInitialize rejected a live uninitialized instance")
+	}
+	waitUntil(t, 10*time.Second, "forced init", func() bool {
+		ex := h.eng.Executor(inst)
+		return ex != nil && ex.Initialized()
+	})
+	// And the replumbed executor processes traffic again.
+	before := h.eng.Audit().SinkArrivals()
+	waitUntil(t, 10*time.Second, "post-init flow", func() bool {
+		return h.eng.Audit().SinkArrivals() > before
+	})
+}

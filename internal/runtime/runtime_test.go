@@ -53,7 +53,13 @@ type harness struct {
 // spare set of D3 VMs available as a migration target.
 func newHarness(t *testing.T, topo *topology.Topology, mode Mode) *harness {
 	t.Helper()
-	cfg := testConfig(mode)
+	return newHarnessCfg(t, topo, testConfig(mode))
+}
+
+// newHarnessCfg is newHarness with an explicit Config, for tests that
+// need non-default knobs (e.g. the heartbeat pulse).
+func newHarnessCfg(t *testing.T, topo *topology.Topology, cfg Config) *harness {
+	t.Helper()
 	clock := timex.NewScaled(1)
 	clus := cluster.New()
 

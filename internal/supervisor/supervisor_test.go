@@ -1,0 +1,427 @@
+package supervisor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/timex"
+	"repro/internal/topology"
+)
+
+// fakeRuntime is a scriptable Runtime for unit-testing the detector and
+// recovery state machine without a real engine.
+type fakeRuntime struct {
+	clock timex.Clock
+
+	mu        sync.Mutex
+	instances []topology.Instance
+	live      map[topology.Instance]bool
+	inited    map[topology.Instance]bool
+	mid       map[topology.Instance]bool
+	beats     map[topology.Instance]time.Time
+	// autoBeat mimics the engine pulse: a respawned executor beats
+	// continuously, so LastHeartbeat returns "now" while it is set.
+	// Tests freeze an instance's beat by leaving it unset.
+	autoBeat map[topology.Instance]bool
+
+	restarts []topology.Instance
+	forced   []topology.Instance
+
+	// waveErrs is consumed one per RestoreWave call; nil entries (and
+	// calls past the end) succeed and initialize every live instance.
+	waveErrs  []error
+	waveCalls int
+}
+
+func newFakeRuntime(clock timex.Clock, insts ...topology.Instance) *fakeRuntime {
+	f := &fakeRuntime{
+		clock:     clock,
+		instances: insts,
+		live:      make(map[topology.Instance]bool),
+		inited:    make(map[topology.Instance]bool),
+		mid:       make(map[topology.Instance]bool),
+		beats:     make(map[topology.Instance]time.Time),
+		autoBeat:  make(map[topology.Instance]bool),
+	}
+	for _, inst := range insts {
+		f.live[inst] = true
+		f.inited[inst] = true
+	}
+	return f
+}
+
+func (f *fakeRuntime) Instances() []topology.Instance { return f.instances }
+
+func (f *fakeRuntime) Live(inst topology.Instance) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.live[inst]
+}
+
+func (f *fakeRuntime) LastHeartbeat(inst topology.Instance) (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.autoBeat[inst] && f.live[inst] {
+		return f.clock.Now(), true
+	}
+	t, ok := f.beats[inst]
+	return t, ok
+}
+
+func (f *fakeRuntime) MidRespawn(inst topology.Instance) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mid[inst]
+}
+
+func (f *fakeRuntime) Initialized(inst topology.Instance) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inited[inst]
+}
+
+func (f *fakeRuntime) Restart(inst topology.Instance) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.restarts = append(f.restarts, inst)
+	f.live[inst] = true
+	f.inited[inst] = false  // stateful: needs a restore wave
+	f.autoBeat[inst] = true // the respawned executor's pulse resumes
+}
+
+func (f *fakeRuntime) RestoreWave(time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var err error
+	if f.waveCalls < len(f.waveErrs) {
+		err = f.waveErrs[f.waveCalls]
+	}
+	f.waveCalls++
+	if err != nil {
+		return err
+	}
+	for inst, up := range f.live {
+		if up {
+			f.inited[inst] = true
+		}
+	}
+	return nil
+}
+
+func (f *fakeRuntime) ForceInitialize(inst topology.Instance) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.live[inst] {
+		return false
+	}
+	f.forced = append(f.forced, inst)
+	f.inited[inst] = true
+	return true
+}
+
+func (f *fakeRuntime) beat(inst topology.Instance, at time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.beats[inst] = at
+}
+
+func (f *fakeRuntime) kill(inst topology.Instance) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.live[inst] = false
+	f.inited[inst] = false
+	f.autoBeat[inst] = false // the corpse stops beating
+}
+
+func (f *fakeRuntime) restartCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.restarts)
+}
+
+func (f *fakeRuntime) forcedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.forced)
+}
+
+// eventLog collects notify callbacks thread-safely.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []IncidentEvent
+}
+
+func (l *eventLog) add(ev IncidentEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evs = append(l.evs, ev)
+}
+
+func (l *eventLog) phases() []IncidentPhase {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]IncidentPhase, len(l.evs))
+	for i, ev := range l.evs {
+		out[i] = ev.Phase
+	}
+	return out
+}
+
+var inst0 = topology.Instance{Task: "op", Index: 0}
+
+// testPolicy: 2s pulse, dead after 3 missed, fast retries.
+func testPolicy() Policy {
+	return Policy{
+		HeartbeatInterval:  2 * time.Second,
+		MissedBeats:        3,
+		RestoreTimeout:     30 * time.Second,
+		RetryInterval:      2 * time.Second,
+		MaxRestoreFailures: 3,
+	}
+}
+
+// waitFor polls cond under a wall deadline — supervisor goroutines run
+// concurrently with the test, so effects land asynchronously.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSlowWallClockDoesNotTriggerDetection is the flake guard: heartbeat
+// deadlines are judged in paper time only. Wall time passing without the
+// paper clock moving (a stalled/overloaded host) must never declare an
+// instance dead.
+func TestSlowWallClockDoesNotTriggerDetection(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+
+	s := New(rt, clock, testPolicy(), nil)
+	// Lots of wall time passes; paper time does not.
+	time.Sleep(50 * time.Millisecond)
+	s.sweep()
+
+	if got := s.Health(); got != Healthy {
+		t.Fatalf("health after wall-only delay = %v, want healthy", got)
+	}
+	if rt.restartCount() != 0 {
+		t.Fatalf("restarts = %d, want 0 (no paper time elapsed)", rt.restartCount())
+	}
+}
+
+// TestDetectionAfterMissedBeats: a silent instance is declared dead only
+// once its last beat is older than MissedBeats*HeartbeatInterval.
+func TestDetectionAfterMissedBeats(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+	rt.kill(inst0)
+
+	var log eventLog
+	s := New(rt, clock, testPolicy(), log.add)
+
+	// 3 intervals of silence is exactly the deadline — not yet dead.
+	clock.Advance(6 * time.Second)
+	s.sweep()
+	if got := s.Health(); got != Healthy {
+		t.Fatalf("health at exactly K intervals = %v, want healthy", got)
+	}
+
+	clock.Advance(2 * time.Second)
+	s.sweep()
+	waitFor(t, "recovery", func() bool { return s.Health() == Healthy && rt.Initialized(inst0) })
+
+	incs := s.Incidents()
+	if len(incs) != 1 || incs[0].Instance != inst0 || incs[0].Degraded {
+		t.Fatalf("incidents = %+v, want one clean recovery of %v", incs, inst0)
+	}
+	if incs[0].MTTR() < 0 {
+		t.Fatalf("MTTR = %v, want >= 0", incs[0].MTTR())
+	}
+	if rt.restartCount() != 1 {
+		t.Fatalf("restarts = %d, want 1", rt.restartCount())
+	}
+	phases := log.phases()
+	want := []IncidentPhase{PhaseDetected, PhaseRestoring, PhaseRecovered}
+	if len(phases) != len(want) {
+		t.Fatalf("event phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("event phases = %v, want %v", phases, want)
+		}
+	}
+	s.Stop()
+}
+
+// TestMidRespawnIsNotAFailure: an instance killed by a planned rebalance
+// (respawn pending) must not be treated as dead no matter how stale its
+// heartbeat gets.
+func TestMidRespawnIsNotAFailure(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+	rt.kill(inst0)
+	rt.mu.Lock()
+	rt.mid[inst0] = true
+	rt.mu.Unlock()
+
+	s := New(rt, clock, testPolicy(), nil)
+	clock.Advance(time.Minute)
+	s.sweep()
+	if rt.restartCount() != 0 || s.Health() != Healthy {
+		t.Fatalf("mid-respawn instance was recovered (restarts=%d, health=%v)",
+			rt.restartCount(), s.Health())
+	}
+}
+
+// TestNeverBeatIsSkipped: an instance with no heartbeat on record (just
+// spawned, pulse not started) is not judged.
+func TestNeverBeatIsSkipped(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	s := New(rt, clock, testPolicy(), nil)
+	clock.Advance(time.Hour)
+	s.sweep()
+	if rt.restartCount() != 0 {
+		t.Fatalf("restarts = %d, want 0 for never-beat instance", rt.restartCount())
+	}
+}
+
+// TestControlBusyDoesNotCountAsFailure: restore attempts that find the
+// control plane busy retry without burning the degradation budget.
+func TestControlBusyDoesNotCountAsFailure(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+	rt.kill(inst0)
+	// Far more busy verdicts than MaxRestoreFailures, then success.
+	rt.waveErrs = []error{ErrControlBusy, ErrControlBusy, ErrControlBusy, ErrControlBusy, ErrControlBusy, nil}
+
+	s := New(rt, clock, testPolicy(), nil)
+	s.Start()
+	defer s.Stop()
+
+	// Drive paper time forward until the recovery completes. Each
+	// Advance lets the monitor sweep and the recovery loop take its
+	// RetryInterval pauses.
+	waitFor(t, "recovery past busy control plane", func() bool {
+		clock.Advance(2 * time.Second)
+		return s.Health() == Healthy && len(s.Incidents()) == 1
+	})
+
+	inc := s.Incidents()[0]
+	if inc.Degraded {
+		t.Fatalf("incident degraded = true, want false (busy is not a failure)")
+	}
+	if rt.forcedCount() != 0 {
+		t.Fatalf("forced initializations = %d, want 0", rt.forcedCount())
+	}
+}
+
+// TestDegradationAfterRepeatedRestoreFailures: N hard restore failures
+// escalate to replay-only ForceInitialize and a sticky Degraded health.
+func TestDegradationAfterRepeatedRestoreFailures(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+	rt.kill(inst0)
+	hard := errors.New("statestore corrupt")
+	rt.waveErrs = []error{hard, hard, hard, hard, hard, hard}
+
+	var log eventLog
+	s := New(rt, clock, testPolicy(), log.add)
+	s.Start()
+	defer s.Stop()
+
+	waitFor(t, "degraded recovery", func() bool {
+		clock.Advance(2 * time.Second)
+		return len(s.Incidents()) == 1
+	})
+
+	inc := s.Incidents()[0]
+	if !inc.Degraded {
+		t.Fatalf("incident = %+v, want Degraded", inc)
+	}
+	if rt.forcedCount() == 0 {
+		t.Fatal("ForceInitialize never called on degradation")
+	}
+	if got := s.Health(); got != Degraded {
+		t.Fatalf("health = %v, want degraded (sticky)", got)
+	}
+	sawDegraded := false
+	for _, p := range log.phases() {
+		if p == PhaseDegraded {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatalf("no PhaseDegraded event in %v", log.phases())
+	}
+}
+
+// TestMonitorLoopDetectsViaClock: end-to-end through Start/Stop — the
+// monitor's own paper-time cadence performs the sweeps.
+func TestMonitorLoopDetectsViaClock(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+	rt.kill(inst0)
+
+	s := New(rt, clock, testPolicy(), nil)
+	s.Start()
+
+	waitFor(t, "monitor-driven recovery", func() bool {
+		clock.Advance(2 * time.Second)
+		return len(s.Incidents()) == 1
+	})
+	s.Stop()
+
+	if rt.restartCount() != 1 {
+		t.Fatalf("restarts = %d, want 1", rt.restartCount())
+	}
+}
+
+// TestStopUnblocksRecovery: Stop must not hang even with an incident in
+// flight whose restores keep failing.
+func TestStopUnblocksRecovery(t *testing.T) {
+	clock := timex.NewManual()
+	rt := newFakeRuntime(clock, inst0)
+	rt.beat(inst0, clock.Now())
+	rt.kill(inst0)
+	rt.waveErrs = []error{ErrControlBusy, ErrControlBusy, ErrControlBusy, ErrControlBusy}
+
+	s := New(rt, clock, testPolicy(), nil)
+	s.Start()
+	waitFor(t, "incident open", func() bool {
+		clock.Advance(2 * time.Second)
+		return s.Health() == Recovering
+	})
+
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with an in-flight recovery")
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p != DefaultPolicy() {
+		t.Fatalf("zero policy fills to %+v, want %+v", p, DefaultPolicy())
+	}
+	p = Policy{HeartbeatInterval: time.Second}.WithDefaults()
+	if p.HeartbeatInterval != time.Second || p.MissedBeats != 3 {
+		t.Fatalf("partial policy fills to %+v", p)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/scheduler"
+	"repro/internal/supervisor"
 	"repro/internal/timex"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -89,6 +90,7 @@ var (
 	WithInitialFleet    = job.WithInitialFleet
 	WithQueuedControl   = job.WithQueuedControl
 	WithEventBuffer     = job.WithEventBuffer
+	WithSupervision     = job.WithSupervision
 )
 
 // JobState is the job lifecycle state; JobStatus a point-in-time
@@ -131,6 +133,10 @@ const (
 	EventDrainCanceled      = job.EventDrainCanceled
 	EventResumed            = job.EventResumed
 	EventStopped            = job.EventStopped
+	EventFailureDetected    = job.EventFailureDetected
+	EventRestoring          = job.EventRestoring
+	EventRecovered          = job.EventRecovered
+	EventDegraded           = job.EventDegraded
 )
 
 // Typed control-plane errors.
@@ -140,6 +146,35 @@ var (
 	ErrNotRunning   = job.ErrNotRunning
 	ErrStrategyMode = job.ErrStrategyMode
 )
+
+// --- supervision and retry ------------------------------------------------
+
+// SupervisionPolicy tunes the self-healing supervisor attached with
+// WithSupervision: heartbeat cadence, missed-beat detection threshold,
+// restore deadlines and the degradation cutoff. SupervisorHealth is the
+// job's aggregate recovery health in Status.
+type (
+	SupervisionPolicy = supervisor.Policy
+	SupervisorHealth  = supervisor.Health
+)
+
+// DefaultSupervisionPolicy returns the stock detection/recovery tuning.
+var DefaultSupervisionPolicy = supervisor.DefaultPolicy
+
+// Supervisor health states.
+const (
+	SupervisorHealthy    = supervisor.Healthy
+	SupervisorRecovering = supervisor.Recovering
+	SupervisorDegraded   = supervisor.Degraded
+)
+
+// RetryPolicy hardens control-plane enactments (MigrateWithRetry,
+// ScaleWithRetry) against transient failures: busy control token,
+// timed-out waves, attempts stuck past their deadline.
+type RetryPolicy = job.RetryPolicy
+
+// DefaultRetryPolicy returns the stock hardening policy.
+var DefaultRetryPolicy = job.DefaultRetryPolicy
 
 // MigrationPhase labels one engine-level transition inside a migration
 // enactment, carried by EventMigrationPhase events.
