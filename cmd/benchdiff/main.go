@@ -92,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	snap := Snapshot{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Generated:  time.Now().UTC().Format(time.RFC3339), //vetstorm:allow wallclock snapshot metadata records the real capture instant
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  *benchtime,

@@ -119,7 +119,7 @@ func runContext(ctx context.Context, args []string) error {
 	}
 
 	fmt.Printf("Running %s / %s / %s (scale %.3f)...\n", *dag, strat.Name(), dir, *scale)
-	start := time.Now()
+	start := time.Now() //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	r, err := experiments.RunContext(ctx, experiments.Scenario{
 		Spec:      spec,
 		Strategy:  strat,
@@ -134,7 +134,7 @@ func runContext(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond)) //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 
 	if r.Canceled {
 		fmt.Println("INTERRUPTED: dataflow drained gracefully; partial metrics follow.")
@@ -217,7 +217,7 @@ func runChaos(ctx context.Context, seed int64, scale float64, full, supervised b
 		mode += ", with unplanned-crash cells"
 	}
 	fmt.Printf("Running chaos matrix, %s, seed %d (scale %.3f)...\n", mode, seed, scale)
-	start := time.Now()
+	start := time.Now() //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	out, err := experiments.RunChaos(ctx, experiments.ChaosConfig{
 		Seed:       seed,
 		TimeScale:  scale,
@@ -225,7 +225,7 @@ func runChaos(ctx context.Context, seed int64, scale float64, full, supervised b
 		Supervised: supervised,
 		Progress:   func(line string) { fmt.Println("  " + line) },
 	})
-	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond)) //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	fmt.Println(out)
 	return err
 }
@@ -236,7 +236,7 @@ func runChaos(ctx context.Context, seed int64, scale float64, full, supervised b
 func runSupervise(ctx context.Context, spec dataflows.Spec, strat core.Strategy, scale float64, seed int64) error {
 	fmt.Printf("Supervised run: %s / %s (scale %.3f) — unplanned kill, self-healing recovery...\n",
 		spec.Topology.Name(), strat.Name(), scale)
-	start := time.Now()
+	start := time.Now() //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	r, err := experiments.RunSupervised(ctx, experiments.SuperviseScenario{
 		Spec:      spec,
 		Strategy:  strat,
@@ -247,7 +247,7 @@ func runSupervise(ctx context.Context, spec dataflows.Spec, strat core.Strategy,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond)) //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	fmt.Println(experiments.Table("Self-healing recovery (paper time)",
 		[]string{"Item", "Value"},
 		[][]string{
@@ -272,7 +272,7 @@ func runAutoscale(ctx context.Context, spec dataflows.Spec, strat core.Strategy,
 	}
 	fmt.Printf("Autoscaling %s with policy %s, enacting via %s (scale %.3f)...\n",
 		spec.Topology.Name(), pol.Name(), strat.Name(), scale)
-	start := time.Now()
+	start := time.Now() //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	r, err := experiments.RunAutoscaleContext(ctx, experiments.AutoscaleScenario{
 		Spec:      spec,
 		Strategy:  strat,
@@ -293,7 +293,7 @@ func runAutoscale(ctx context.Context, spec dataflows.Spec, strat core.Strategy,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Completed in %s wall time.\n\n", time.Since(start).Round(time.Millisecond)) //vetstorm:allow wallclock reporting real elapsed wall time to the operator
 	fmt.Println(experiments.Table("Autoscale run",
 		[]string{"Item", "Value"},
 		[][]string{

@@ -1,0 +1,119 @@
+// Command vetstorm is the repo's invariant linter: a go vet-style
+// multichecker enforcing the four disciplines the runtime's correctness
+// arguments rest on (see docs/ARCHITECTURE.md, "Enforced invariants"):
+//
+//	wallclock    — components never touch the wall clock; they take a
+//	               timex.Clock and speak paper time
+//	seededrand   — all randomness flows from explicit seeds so chaos
+//	               cells and workloads replay bit-for-bit
+//	eventrelease — pooled tuple.Events are Released or handed off on
+//	               every path
+//	unlockpath   — every mutex Lock is matched on every return path
+//
+// Usage:
+//
+//	go run ./cmd/vetstorm ./...
+//	go run ./cmd/vetstorm -run wallclock,unlockpath -tests=false ./internal/runtime
+//	go run ./cmd/vetstorm -unlockpath.strict ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// Deliberate exceptions carry `//vetstorm:allow <analyzer> <reason>` on
+// or directly above the flagged line; the reason is mandatory and an
+// annotation naming an unknown analyzer is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vetstorm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		chdir     = fs.String("C", "", "resolve patterns in this directory's module (like go -C)")
+		tests     = fs.Bool("tests", true, "also analyze _test.go files (wallclock exempts tests by design)")
+		only      = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		strict    = fs.Bool("unlockpath.strict", false, "also flag non-deferred critical sections spanning calls that can panic")
+		transfers = fs.String("eventrelease.transfer", "", "comma-separated extra callee names that transfer pooled-event ownership")
+		vet       = fs.Bool("vet", false, "also run `go vet` on the same patterns and merge its verdict")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	opts := suite.Options{UnlockStrict: *strict}
+	if *transfers != "" {
+		opts.ExtraTransfers = strings.Split(*transfers, ",")
+	}
+	all := suite.Analyzers(opts)
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "vetstorm: unknown analyzer %q (have %s)\n", name, strings.Join(suite.Names(), ", "))
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := load.NewLoader(*chdir)
+	if err != nil {
+		fmt.Fprintf(stderr, "vetstorm: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(*chdir, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "vetstorm: %v\n", err)
+		return 2
+	}
+
+	status := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers, suite.Names())
+		if err != nil {
+			fmt.Fprintf(stderr, "vetstorm: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			status = 1
+		}
+	}
+
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = *chdir
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the annotation marker. The full grammar is
+//
+//	//vetstorm:allow <analyzer> <reason>
+//
+// placed either trailing the offending line or on the line directly
+// above it. The reason is mandatory — the annotation is the audit trail
+// for every deliberate exception to an enforced invariant.
+const allowPrefix = "vetstorm:allow"
+
+// allowance is one parsed //vetstorm:allow annotation.
+type allowance struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// allowSet indexes a package's annotations by file and line.
+type allowSet struct {
+	// byLine maps filename -> line -> allowances written on that line.
+	byLine map[string]map[int][]allowance
+	// malformed are annotations missing an analyzer or a reason; the
+	// runner turns them into diagnostics so they cannot silently rot.
+	malformed []Diagnostic
+}
+
+// collectAllows scans every comment of the package's files.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	as := &allowSet{byLine: make(map[string]map[int][]allowance)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				as.add(fset.Position(c.Pos()), c.Text)
+			}
+		}
+	}
+	return as
+}
+
+// add parses one comment's text. Only //-style comments participate:
+// the annotation binds to a specific line, which a block comment does
+// not have.
+func (as *allowSet) add(pos token.Position, text string) {
+	if !strings.HasPrefix(text, "//") {
+		return
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, allowPrefix) {
+		return
+	}
+	fields := strings.Fields(strings.TrimPrefix(body, allowPrefix))
+	if len(fields) == 0 {
+		as.malformed = append(as.malformed, Diagnostic{
+			Analyzer: "allow", Pos: pos,
+			Message: "vetstorm:allow needs an analyzer name and a reason",
+		})
+		return
+	}
+	if len(fields) == 1 {
+		as.malformed = append(as.malformed, Diagnostic{
+			Analyzer: "allow", Pos: pos,
+			Message: "vetstorm:allow " + fields[0] + " needs a reason: annotations document why the invariant does not apply",
+		})
+		return
+	}
+	lines := as.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]allowance)
+		as.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], allowance{
+		analyzer: fields[0],
+		reason:   strings.Join(fields[1:], " "),
+		pos:      pos,
+	})
+}
+
+// suppresses reports whether a diagnostic from analyzer at pos is
+// covered by an annotation on the same line or the line directly above.
+func (as *allowSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := as.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one in-memory file and runs analyzers over it.
+func checkSrc(t *testing.T, src string, analyzers []*Analyzer, known []string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := RunPackage(fset, []*ast.File{f}, pkg, info, analyzers, known)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+// flagEverything reports one diagnostic per function declaration.
+var flagEverything = &Analyzer{
+	Name: "flagfunc",
+	Doc:  "test analyzer: flags every function",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					p.Reportf(fd.Pos(), "function %s flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestAllowSuppressesSameLineAndLineAbove(t *testing.T) {
+	src := `package fixture
+
+func a() {} //vetstorm:allow flagfunc covered same-line
+
+//vetstorm:allow flagfunc covered line-above
+func b() {}
+
+func c() {}
+`
+	diags := checkSrc(t, src, []*Analyzer{flagEverything}, []string{"flagfunc"})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "function c") {
+		t.Fatalf("want exactly the unannotated function flagged, got %v", diags)
+	}
+}
+
+func TestAllowMissingReasonIsADiagnostic(t *testing.T) {
+	src := `package fixture
+
+//vetstorm:allow flagfunc
+func a() {}
+
+//vetstorm:allow
+func b() {}
+`
+	diags := checkSrc(t, src, nil, []string{"flagfunc"})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 malformed-annotation diagnostics, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "allow" {
+			t.Errorf("malformed annotation reported by %q, want allow", d.Analyzer)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("first diagnostic %q should demand a reason", diags[0].Message)
+	}
+}
+
+func TestAllowWithoutReasonDoesNotSuppress(t *testing.T) {
+	src := `package fixture
+
+//vetstorm:allow flagfunc
+func a() {}
+`
+	diags := checkSrc(t, src, []*Analyzer{flagEverything}, []string{"flagfunc"})
+	var kinds []string
+	for _, d := range diags {
+		kinds = append(kinds, d.Analyzer)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want malformed-annotation + undampened finding, got %v (%v)", kinds, diags)
+	}
+}
+
+func TestAllowUnknownAnalyzerIsADiagnostic(t *testing.T) {
+	src := `package fixture
+
+func a() {} //vetstorm:allow nosuchcheck the analyzer was renamed under us
+`
+	diags := checkSrc(t, src, nil, []string{"flagfunc"})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer nosuchcheck") {
+		t.Fatalf("want unknown-analyzer diagnostic, got %v", diags)
+	}
+}
+
+func TestIgnoreTestsFiltersTestFiles(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x_test.go", "package fixture\n\nfunc a() {}\n", parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := (&types.Config{}).Check("fixture", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	ignoring := &Analyzer{Name: "flagfunc", Doc: flagEverything.Doc, IgnoreTests: true, Run: flagEverything.Run}
+	diags, err := RunPackage(fset, []*ast.File{f}, pkg, nil, []*Analyzer{ignoring}, []string{"flagfunc"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("IgnoreTests should drop _test.go findings, got %v", diags)
+	}
+}

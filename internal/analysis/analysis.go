@@ -1,0 +1,111 @@
+// Package analysis is a self-contained, stdlib-only equivalent of the
+// golang.org/x/tools/go/analysis framework, sized for this repository's
+// invariant linters (cmd/vetstorm).
+//
+// The repo runs in hermetic environments with no module proxy access, so
+// vendoring x/tools is not an option; the subset needed here — typed ASTs
+// per package, diagnostics with positions, golden tests — is small enough
+// to own. The API deliberately mirrors go/analysis (Analyzer, Pass,
+// Diagnostic, analysistest.Run) so the suite can be ported onto x/tools
+// mechanically if the repo ever grows real dependencies.
+//
+// On top of the x/tools subset it adds the one feature the invariants
+// need: a uniform escape hatch. A diagnostic is suppressed when the
+// flagged line — or the line directly above it — carries a comment of
+// the form
+//
+//	//vetstorm:allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow without a justification is itself a
+// diagnostic. See the "Enforced invariants" section of
+// docs/ARCHITECTURE.md for the disciplines the shipped analyzers encode.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker: a name, an explanation of the
+// discipline it enforces, and a Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //vetstorm:allow annotations. Lowercase, no spaces.
+	Name string
+	// Doc explains the enforced invariant, first line short.
+	Doc string
+	// IgnoreTests skips _test.go files entirely. Used by wallclock:
+	// tests own the wall clock (watchdog guards, -timeout interplay);
+	// the paper-time discipline binds components, not their tests.
+	IgnoreTests bool
+	// Run reports violations on one type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed files of the package, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	// TypesInfo has Types, Defs, Uses and Selections fully populated.
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name ("allow" for malformed
+	// //vetstorm:allow annotations, reported by the runner itself).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the go vet style consumed by editors
+// and CI log matchers: path:line:col: [analyzer] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// FuncOf resolves a called expression to the *types.Func it invokes, or
+// nil for builtins, conversions and indirect calls through non-selector
+// expressions. Shared by the analyzers to key decisions off the callee's
+// identity (package path + name) instead of its spelling, so aliased
+// imports cannot dodge a check.
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function path.name
+// (methods never match: their receiver makes Pkg-level identity wrong).
+func IsPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}

@@ -1,0 +1,177 @@
+// Package analysistest runs an analyzer over a golden fixture package
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// Fixtures live in testdata/src/<name>/ relative to the calling test's
+// package directory (the go tool ignores testdata, so fixtures never
+// enter the build). Each line that should be flagged carries a trailing
+// comment of the form
+//
+//	ev := parent.Child(...) // want "leak" "second diagnostic on this line"
+//
+// where every quoted string is a regexp matched, in column order,
+// against the diagnostics reported for that line after //vetstorm:allow
+// filtering — so fixtures also prove suppression by annotating a
+// violation and writing no want for it.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *load.Loader
+	loaderErr  error
+)
+
+// sharedLoader indexes the module once per test binary.
+func sharedLoader() (*load.Loader, error) {
+	loaderOnce.Do(func() {
+		loader, loaderErr = load.NewLoader("")
+	})
+	return loader, loaderErr
+}
+
+// Run loads testdata/src/<pkg> and checks a's diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loading module index: %v", err)
+	}
+	target, err := l.LoadDir(filepath.Join("testdata", "src", pkg), pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	diags, err := analysis.RunPackage(target.Fset, target.Files, target.Types, target.Info, []*analysis.Analyzer{a}, suite.Names())
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]analysis.Diagnostic)
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := target.Fset.Position(c.Pos())
+				res, perr := parseWant(c.Text)
+				if perr != nil {
+					t.Errorf("%s:%d: %v", pos.Filename, pos.Line, perr)
+					continue
+				}
+				if len(res) > 0 {
+					k := key{filepath.Base(pos.Filename), pos.Line}
+					want[k] = append(want[k], res...)
+				}
+			}
+		}
+	}
+
+	for k, res := range want {
+		ds := got[k]
+		if len(ds) != len(res) {
+			t.Errorf("%s:%d: want %d diagnostic(s), got %d: %v", k.file, k.line, len(res), len(ds), messages(ds))
+			continue
+		}
+		for i, re := range res {
+			if !re.MatchString(ds[i].Message) {
+				t.Errorf("%s:%d: diagnostic %q does not match want %q", k.file, k.line, ds[i].Message, re)
+			}
+		}
+	}
+	var unexpected []key
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			unexpected = append(unexpected, k)
+		}
+	}
+	sort.Slice(unexpected, func(i, j int) bool {
+		if unexpected[i].file != unexpected[j].file {
+			return unexpected[i].file < unexpected[j].file
+		}
+		return unexpected[i].line < unexpected[j].line
+	})
+	for _, k := range unexpected {
+		t.Errorf("%s:%d: unexpected diagnostic(s): %v", k.file, k.line, messages(got[k]))
+	}
+}
+
+func messages(ds []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, "["+d.Analyzer+"] "+d.Message)
+	}
+	return out
+}
+
+// parseWant extracts the quoted regexps from a // want comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, "want"))
+	var res []*regexp.Regexp
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("want: expected quoted regexp at %q", rest)
+		}
+		lit, remainder, err := cutString(rest)
+		if err != nil {
+			return nil, err
+		}
+		pattern, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want: %v in %q", err, lit)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("want: bad regexp %q: %v", pattern, err)
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(remainder)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment has no expectations")
+	}
+	return res, nil
+}
+
+// cutString splits off the leading Go string literal.
+func cutString(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quote == '"' {
+				i++
+			}
+		case quote:
+			return s[:i+1], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want comment: %q", s)
+}

@@ -1,0 +1,520 @@
+// Package eventrelease enforces the pooled tuple.Event ownership
+// discipline from PR 3: an event drawn from the pool — by
+// tuple.NewPooledEvent or Event.Child — is owned by its creator until it
+// is either handed off through an ownership-transfer point (a fabric
+// Send, a queue Push, an append into a retained slice, a channel send, a
+// return) or Released back to the pool. A path that drops the reference
+// without doing either leaks the event: the pool refills from the heap
+// and the allocation win the hot path was rebuilt around quietly erodes,
+// with no test ever failing.
+//
+// The analysis is intra-procedural: a lightweight path walk tracks the
+// obligations created in each function body. Discharges:
+//
+//   - ev.Release(), direct or deferred;
+//   - ev passed to a call whose callee name is in the transfer list
+//     (default Send and Push — vetstorm -eventrelease.transfer adds
+//     more), or to any builtin append;
+//   - ev escaping: returned, sent on a channel, stored into a field,
+//     slice, map or composite literal, captured by a closure, or handed
+//     to a goroutine.
+//
+// Reading fields (ev.ID, ev.Root) and passing ev to other calls does
+// not transfer ownership — that is precisely the bug class: a function
+// that inspects the event on an error path and forgets the Release.
+//
+// Branches fork the obligation set; fall-through arms merge by union
+// (alive on any arm stays alive), so a Release on only one side of an
+// if/else keeps the other side's leak visible. Deliberate exceptions
+// annotate the creating line:
+//
+//	ev := parent.Child(...) //vetstorm:allow eventrelease ownership documented in <where>
+package eventrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// TuplePath is the import path of the package defining the pooled
+	// event type and producers.
+	TuplePath string
+	// Transfers are callee names whose calls take ownership of a pooled
+	// event argument.
+	Transfers []string
+}
+
+// DefaultConfig matches this repository: repro/internal/tuple events,
+// handed off via fabric Send and queue Push.
+func DefaultConfig() Config {
+	return Config{
+		TuplePath: "repro/internal/tuple",
+		Transfers: []string{"Send", "Push"},
+	}
+}
+
+// Analyzer is the eventrelease checker under DefaultConfig.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+// NewAnalyzer builds an eventrelease checker with cfg.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	transfers := make(map[string]bool, len(cfg.Transfers))
+	for _, t := range cfg.Transfers {
+		transfers[t] = true
+	}
+	return &analysis.Analyzer{
+		Name: "eventrelease",
+		Doc:  "flags pooled tuple.Event values (NewPooledEvent/Child) that can reach a function exit without Release or an ownership hand-off",
+		Run: func(pass *analysis.Pass) error {
+			w := &walker{pass: pass, tuplePath: cfg.TuplePath, transfers: transfers, reported: make(map[token.Pos]bool)}
+			w.run()
+			return nil
+		},
+	}
+}
+
+// obligation is one live pooled event the current function owns.
+type obligation struct {
+	v   *types.Var
+	pos token.Pos // creation site, where diagnostics anchor
+}
+
+// state maps owner variable -> live obligation. Branches clone it.
+type state map[*types.Var]*obligation
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// union keeps an obligation alive if any fall-through arm still owes it.
+func union(states ...state) state {
+	out := make(state)
+	for _, st := range states {
+		for k, v := range st {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type walker struct {
+	pass      *analysis.Pass
+	tuplePath string
+	transfers map[string]bool
+	reported  map[token.Pos]bool
+	// aliases maps a variable to the obligation owner it aliases
+	// (ev2 := ev). Syntactic and function-local.
+	aliases map[*types.Var]*types.Var
+}
+
+func (w *walker) run() {
+	// The tuple package itself is exempt: it is the pool's
+	// implementation, where producers legitimately return their result.
+	if w.pass.Pkg.Path() == w.tuplePath {
+		return
+	}
+	analysis.Functions(w.pass.Files, func(name string, body *ast.BlockStmt) {
+		if analysis.HasGoto(body) {
+			return
+		}
+		w.aliases = make(map[*types.Var]*types.Var)
+		end, terminated := w.walk(body.List, make(state))
+		if !terminated {
+			w.checkExit(end, body.Rbrace, "function exit")
+		}
+	})
+}
+
+func (w *walker) checkExit(st state, exit token.Pos, kind string) {
+	for _, ob := range st {
+		if w.reported[ob.pos] {
+			continue
+		}
+		w.reported[ob.pos] = true
+		w.pass.Reportf(ob.pos,
+			"pooled event %s created here can reach the %s at line %d without Release or an ownership hand-off: the pool leaks and refills from the heap",
+			ob.v.Name(), kind, w.pass.Fset.Position(exit).Line)
+	}
+}
+
+// resolve follows aliases to the obligation-owning variable.
+func (w *walker) resolve(v *types.Var) *types.Var {
+	for {
+		root, ok := w.aliases[v]
+		if !ok {
+			return v
+		}
+		v = root
+	}
+}
+
+// obligationVar returns the owning variable when e is (parenthesized)
+// use of a variable holding a live obligation.
+func (w *walker) obligationVar(st state, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	v = w.resolve(v)
+	if _, live := st[v]; live {
+		return v
+	}
+	return nil
+}
+
+// isProducer reports whether call creates a pooled event:
+// tuple.NewPooledEvent(...) or (*tuple.Event).Child(...).
+func (w *walker) isProducer(call *ast.CallExpr) bool {
+	fn := analysis.FuncOf(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != w.tuplePath {
+		return false
+	}
+	if analysis.IsPkgFunc(fn, w.tuplePath, "NewPooledEvent") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && fn.Name() == "Child"
+}
+
+// isRelease reports whether call is ev.Release() and returns the
+// receiver expression.
+func (w *walker) isRelease(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != w.tuplePath || fn.Name() != "Release" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// walk processes stmts sequentially.
+func (w *walker) walk(stmts []ast.Stmt, st state) (state, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		st, terminated = w.stmt(stmt, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return w.assign(s, st), false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if call, ok := ast.Unparen(val).(*ast.CallExpr); ok && w.isProducer(call) && i < len(vs.Names) {
+						w.create(st, vs.Names[i], call)
+						continue
+					}
+					w.scan(st, val)
+				}
+			}
+		}
+		return st, false
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && w.isProducer(call) {
+			// Result dropped on the floor: leaked at birth.
+			if !w.reported[call.Pos()] {
+				w.reported[call.Pos()] = true
+				w.pass.Reportf(call.Pos(), "pooled event created and immediately dropped: the result of %s must be Released or handed off", types.ExprString(call.Fun))
+			}
+			w.scan(st, s.X)
+			return st, false
+		}
+		if analysis.Terminates(w.pass.TypesInfo, s) {
+			return st, true
+		}
+		w.scan(st, s.X)
+		return st, false
+
+	case *ast.DeferStmt:
+		w.scan(st, s.Call)
+		return st, false
+
+	case *ast.GoStmt:
+		// The goroutine takes ownership of anything it references.
+		w.scan(st, s.Call)
+		for _, a := range s.Call.Args {
+			if v := w.obligationVar(st, a); v != nil {
+				delete(st, v)
+			}
+		}
+		return st, false
+
+	case *ast.SendStmt:
+		if v := w.obligationVar(st, s.Value); v != nil {
+			delete(st, v)
+		} else {
+			w.scan(st, s.Value)
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if v := w.obligationVar(st, r); v != nil {
+				delete(st, v)
+			} else {
+				w.scan(st, r)
+			}
+		}
+		w.checkExit(st, s.Pos(), "return")
+		return st, true
+
+	case *ast.BranchStmt:
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.walk(s.List, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scan(st, s.Cond)
+		thenSt, thenTerm := w.walk(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return union(thenSt, elseSt), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scan(st, s.Cond)
+		bodySt, _ := w.walk(s.Body.List, st.clone())
+		return union(st, bodySt), false
+
+	case *ast.RangeStmt:
+		w.scan(st, s.X)
+		bodySt, _ := w.walk(s.Body.List, st.clone())
+		return union(st, bodySt), false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scan(st, s.Tag)
+		return w.caseArms(s.Body, st, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		return w.caseArms(s.Body, st, false)
+
+	case *ast.SelectStmt:
+		return w.caseArms(s.Body, st, true)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	}
+	return st, false
+}
+
+func (w *walker) caseArms(body *ast.BlockStmt, st state, exhaustive bool) (state, bool) {
+	var fallThrough []state
+	allTerm := true
+	for _, cs := range body.List {
+		armSt := st.clone()
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				exhaustive = true
+			}
+			for _, e := range c.List {
+				w.scan(st, e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				armSt, _ = w.stmt(c.Comm, armSt)
+			}
+			stmts = c.Body
+		}
+		armSt, armTerm := w.walk(stmts, armSt)
+		if armTerm {
+			continue
+		}
+		allTerm = false
+		fallThrough = append(fallThrough, armSt)
+	}
+	if allTerm && exhaustive && len(body.List) > 0 {
+		return st, true
+	}
+	if !exhaustive {
+		fallThrough = append(fallThrough, st)
+	}
+	if len(fallThrough) == 0 {
+		return st, false
+	}
+	return union(fallThrough...), false
+}
+
+// assign handles creations (ev := parent.Child(...)), aliases
+// (ev2 := ev) and escapes (x.field = ev).
+func (w *walker) assign(s *ast.AssignStmt, st state) state {
+	// Pairwise handling only lines up 1:1 assignments; the rare
+	// multi-value forms fall through to the generic scan.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			lhs, rhs := s.Lhs[i], s.Rhs[i]
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && w.isProducer(call) {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					w.create(st, id, call)
+					continue
+				}
+				// Producer result stored straight into a field/slice:
+				// that is the hand-off.
+				w.scan(st, call)
+				continue
+			}
+			if v := w.obligationVar(st, rhs); v != nil {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					// Alias: both names refer to the same obligation.
+					if lv, ok := w.objectOf(id); ok {
+						w.aliases[lv] = v
+					}
+					continue
+				}
+				// Stored into a field, map, slice or dereference: the
+				// structure owns it now.
+				delete(st, v)
+				continue
+			}
+			w.scan(st, rhs)
+		}
+		return st
+	}
+	for _, rhs := range s.Rhs {
+		w.scan(st, rhs)
+	}
+	return st
+}
+
+// objectOf resolves the variable an identifier defines or uses.
+func (w *walker) objectOf(id *ast.Ident) (*types.Var, bool) {
+	if v, ok := w.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+	return v, ok
+}
+
+// create registers a fresh obligation for the variable id is bound to.
+func (w *walker) create(st state, id *ast.Ident, call *ast.CallExpr) {
+	w.scan(st, call) // the producer's receiver/args may use other obligations
+	v, ok := w.objectOf(id)
+	if !ok {
+		return
+	}
+	delete(w.aliases, v)
+	st[v] = &obligation{v: v, pos: call.Pos()}
+}
+
+// scan applies discharges found anywhere inside node: Release calls,
+// transfer-point calls, appends, composite literals and closure
+// captures.
+func (w *walker) scan(st state, node ast.Node) {
+	if node == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, ok := w.isRelease(n); ok {
+				if v := w.obligationVar(st, recv); v != nil {
+					delete(st, v)
+				}
+				return true
+			}
+			if w.transferCall(n) {
+				for _, a := range n.Args {
+					if v := w.obligationVar(st, a); v != nil {
+						delete(st, v)
+					}
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if v := w.obligationVar(st, e); v != nil {
+					delete(st, v)
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			// Closure capture: the closure may release or hand off on
+			// its own schedule; ownership leaves this function's paths.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						if _, live := st[w.resolve(v)]; live {
+							delete(st, w.resolve(v))
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// transferCall reports whether the callee takes ownership: a name from
+// the transfer list or the append builtin.
+func (w *walker) transferCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := w.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			return b.Name() == "append"
+		}
+		return w.transfers[fun.Name]
+	case *ast.SelectorExpr:
+		return w.transfers[fun.Sel.Name]
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package eventrelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/eventrelease"
+)
+
+// TestEventRelease runs the default-config golden fixture: leaks on
+// straight-line, early-return and one-armed paths flagged at the
+// creation site; Release (direct, deferred, via alias), default
+// transfer points (Send/Push/append) and escapes (return, channel,
+// store, closure, goroutine) all discharge; annotations suppress.
+func TestEventRelease(t *testing.T) {
+	analysistest.Run(t, eventrelease.Analyzer, "a")
+}
+
+// TestEventReleaseConfiguredTransfers proves the transfer-point list is
+// honored: a hand-off that fixture a flags becomes clean once its
+// callee is registered, without blanket-suppressing real leaks.
+func TestEventReleaseConfiguredTransfers(t *testing.T) {
+	cfg := eventrelease.DefaultConfig()
+	cfg.Transfers = append(cfg.Transfers, "deliver")
+	analysistest.Run(t, eventrelease.NewAnalyzer(cfg), "b")
+}

@@ -1,0 +1,122 @@
+// Fixture for the eventrelease analyzer under the default config:
+// pooled events must be Released or handed off (Send/Push/append,
+// escapes) on every path.
+package a
+
+import "repro/internal/tuple"
+
+// fabric stands in for the delivery fabric: Send is in the default
+// ownership-transfer list.
+type fabric struct{}
+
+func (fabric) Send(to string, ev *tuple.Event) {}
+
+// queue stands in for the executor intake: Push transfers too.
+type queue struct{}
+
+func (queue) Push(ev *tuple.Event) bool { return true }
+
+// inspect reads the event without taking ownership.
+func inspect(ev *tuple.Event) uint64 { return uint64(ev.ID) }
+
+// leakPlain drops the only reference: flagged at the creation site.
+func leakPlain() uint64 {
+	ev := tuple.NewPooledEvent() // want `pooled event ev created here can reach the return`
+	return inspect(ev)           // a read is not a hand-off
+}
+
+// leakChildEarlyReturn is the real bug shape: the error path returns
+// before the hand-off the happy path performs.
+func leakChildEarlyReturn(parent *tuple.Event, f fabric, bad bool) {
+	ev := parent.Child(1, "task", 0, nil) // want `pooled event ev created here can reach the return`
+	if bad {
+		return // leaks ev
+	}
+	f.Send("dst", ev)
+}
+
+// leakDropped never even binds the result.
+func leakDropped(parent *tuple.Event) {
+	parent.Child(2, "task", 0, nil) // want `pooled event created and immediately dropped`
+}
+
+// releasedOnEveryPath balances both arms: no finding.
+func releasedOnEveryPath(parent *tuple.Event, f fabric, bad bool) {
+	ev := parent.Child(3, "task", 0, nil)
+	if bad {
+		ev.Release()
+		return
+	}
+	f.Send("dst", ev)
+}
+
+// deferredRelease discharges every exit at once.
+func deferredRelease(parent *tuple.Event) uint64 {
+	ev := parent.Child(4, "task", 0, nil)
+	defer ev.Release()
+	return inspect(ev)
+}
+
+// handedToQueue uses the other default transfer point.
+func handedToQueue(q queue, parent *tuple.Event) {
+	ev := parent.Child(5, "task", 0, nil)
+	q.Push(ev)
+}
+
+// savedByAppend models the savedEvents capture path: append retains.
+func savedByAppend(saved []*tuple.Event, parent *tuple.Event) []*tuple.Event {
+	ev := parent.Child(6, "task", 0, nil)
+	saved = append(saved, ev)
+	return saved
+}
+
+// escapes hand ownership to a structure, channel, caller or goroutine.
+func escapes(parent *tuple.Event, ch chan *tuple.Event, store map[int]*tuple.Event) *tuple.Event {
+	a := parent.Child(7, "task", 0, nil)
+	ch <- a
+	b := parent.Child(8, "task", 0, nil)
+	store[0] = b
+	c := parent.Child(9, "task", 0, nil)
+	go func() { c.Release() }()
+	d := parent.Child(10, "task", 0, nil)
+	return d
+}
+
+// aliasRelease releases through a second name for the same event.
+func aliasRelease(parent *tuple.Event) {
+	ev := parent.Child(11, "task", 0, nil)
+	alias := ev
+	alias.Release()
+}
+
+// oneArmOnly releases on a single branch: the fall-through path leaks.
+func oneArmOnly(parent *tuple.Event, bad bool) {
+	ev := parent.Child(12, "task", 0, nil) // want `pooled event ev created here can reach the function exit`
+	if bad {
+		ev.Release()
+	}
+}
+
+// notInTransferList: Deliver is not a default transfer point, so the
+// hand-off does not count — exactly what -eventrelease.transfer exists
+// to configure (see the b fixture).
+func notInTransferList(parent *tuple.Event) {
+	ev := parent.Child(13, "task", 0, nil) // want `pooled event ev created here can reach the function exit`
+	deliver(ev)
+}
+
+func deliver(ev *tuple.Event) {}
+
+// annotated documents deliberate ownership transfer the analyzer cannot
+// see (no want: suppressed).
+func annotated(parent *tuple.Event) {
+	ev := parent.Child(14, "task", 0, nil) //vetstorm:allow eventrelease deliver retains the event in a ring buffer it owns
+	deliver(ev)
+}
+
+// nonPooledUntracked: events built with a composite literal are not
+// pooled; nothing to track.
+func nonPooledUntracked() *tuple.Event {
+	ev := &tuple.Event{ID: 1}
+	return ev
+}

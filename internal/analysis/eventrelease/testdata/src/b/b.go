@@ -1,0 +1,21 @@
+// Fixture for eventrelease with a configured transfer list: Deliver is
+// registered as an ownership-transfer point, so hand-offs through it
+// discharge the obligation (contrast with the a fixture, where the same
+// shape is flagged).
+package b
+
+import "repro/internal/tuple"
+
+func deliver(ev *tuple.Event) {}
+
+// viaConfiguredTransfer hands off through the configured point: clean.
+func viaConfiguredTransfer(parent *tuple.Event) {
+	ev := parent.Child(1, "task", 0, nil)
+	deliver(ev)
+}
+
+// stillLeaksElsewhere: configuring Deliver does not blanket-suppress.
+func stillLeaksElsewhere(parent *tuple.Event) {
+	ev := parent.Child(2, "task", 0, nil) // want `pooled event ev created here can reach the function exit`
+	_ = ev
+}

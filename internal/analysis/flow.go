@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Terminates reports whether stmt definitely ends the enclosing
+// goroutine's journey through the function without reaching the
+// following statements: panic, os.Exit, runtime.Goexit, log.Fatal*, and
+// the testing terminators (t.Fatal/FailNow/Skip...) which call Goexit.
+// Return statements are handled separately by the walkers (they are
+// exits whose obligations must be checked; these are aborts where the
+// invariants deliberately stand down — a panicking process is past
+// caring about pool hygiene, and lock state dies with it).
+func Terminates(info *types.Info, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := FuncOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	case "testing":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// Functions yields every function body in the files: declared funcs and
+// methods plus every function literal, each analyzed as an independent
+// scope by the flow-sensitive analyzers.
+func Functions(files []*ast.File, visit func(name string, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					visit(fn.Name.Name, fn.Body)
+				}
+			case *ast.FuncLit:
+				visit("func literal", fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// HasGoto reports whether body contains a goto or labeled break/continue
+// targeting an outer statement — control flow the lightweight walkers do
+// not model. Functions containing them are skipped wholesale rather than
+// analyzed wrongly.
+func HasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, checked on its own visit
+		case *ast.BranchStmt:
+			if b.Tok.String() == "goto" || b.Label != nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,253 @@
+// Package load type-checks this module's packages for the vetstorm
+// analyzers without golang.org/x/tools or network access.
+//
+// Package discovery shells out to `go list -json` (offline for the
+// module's own packages and the standard library). Module packages are
+// parsed and type-checked from source; standard-library imports resolve
+// through go/importer's source importer, which reads GOROOT. Everything
+// is memoized in one Loader, so a whole-repo run type-checks each
+// package once.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("<path>_test" for external test
+	// packages).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	// Info has Types, Defs, Uses, Selections and Implicits populated.
+	Info *types.Info
+}
+
+// meta is the subset of `go list -json` output the loader consumes.
+type meta struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// listFields is passed to -json= so go list skips the expensive fields
+// (exports, deps resolution output) the loader never reads.
+const listFields = "Dir,ImportPath,Name,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,Incomplete,Error"
+
+// Loader loads and memoizes type-checked packages.
+type Loader struct {
+	fset      *token.FileSet
+	std       types.ImporterFrom
+	moduleDir string
+	index     map[string]*meta          // module packages by import path
+	depCache  map[string]*types.Package // dependency-role checks (no Info)
+}
+
+// NewLoader indexes the enclosing module (found from dir, "" = cwd).
+func NewLoader(dir string) (*Loader, error) {
+	l := &Loader{
+		fset:     token.NewFileSet(),
+		index:    make(map[string]*meta),
+		depCache: make(map[string]*types.Package),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+
+	out, err := goList(dir, "env", "GOMOD")
+	if err != nil {
+		return nil, fmt.Errorf("locating module root: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return nil, fmt.Errorf("not inside a Go module (go env GOMOD is empty)")
+	}
+	l.moduleDir = filepath.Dir(gomod)
+
+	metas, err := l.list(l.moduleDir, "./...")
+	if err != nil {
+		return nil, fmt.Errorf("indexing module packages: %w", err)
+	}
+	for _, m := range metas {
+		l.index[m.ImportPath] = m
+	}
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs a go subcommand in dir and returns stdout.
+func goList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// list resolves patterns to package metadata.
+func (l *Loader) list(dir string, patterns ...string) ([]*meta, error) {
+	args := append([]string{"list", "-json=" + listFields, "--"}, patterns...)
+	out, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	var metas []*meta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		m := new(meta)
+		if err := dec.Decode(m); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// Load type-checks the packages matched by patterns (resolved relative
+// to dir, "" = cwd). With tests set, in-package _test.go files are
+// checked alongside the package and external _test packages are
+// returned as "<path>_test" entries.
+func (l *Loader) Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	metas, err := l.list(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, m := range metas {
+		if m.Standard || m.DepOnly {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if len(m.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which the vetstorm loader does not support", m.ImportPath)
+		}
+		files := m.GoFiles
+		if tests {
+			files = append(append([]string{}, files...), m.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			pkg, err := l.check(m.ImportPath, m.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if tests && len(m.XTestGoFiles) > 0 {
+			pkg, err := l.check(m.ImportPath+"_test", m.Dir, m.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks every .go file in dir as a single package named
+// path. Used by analysistest, whose fixtures live under testdata/ where
+// go list does not look.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.check(path, dir, files)
+}
+
+// check parses and type-checks one package with full Info.
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module packages are
+// type-checked from source (memoized, no Info — the dependency role
+// only needs the type surface); everything else falls through to the
+// GOROOT source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.depCache[path]; ok {
+		return p, nil
+	}
+	m, ok := l.index[path]
+	if !ok || m.Standard {
+		return l.std.ImportFrom(path, srcDir, mode)
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking dependency %s: %w", path, err)
+	}
+	l.depCache[path] = pkg
+	return pkg, nil
+}

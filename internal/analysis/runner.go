@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RunPackage applies analyzers to one type-checked package and returns
+// the surviving diagnostics, sorted by position.
+//
+// Suppression: a diagnostic is dropped when a matching //vetstorm:allow
+// annotation sits on the flagged line or the line directly above it.
+// Malformed annotations (missing analyzer or reason) are themselves
+// reported under the "allow" pseudo-analyzer. knownNames guards
+// annotation hygiene: an allow naming an analyzer outside the full
+// suite is reported as malformed — it suppresses nothing and would
+// otherwise rot silently when an analyzer is renamed.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, knownNames []string) ([]Diagnostic, error) {
+	allows := collectAllows(fset, files)
+	known := make(map[string]bool, len(knownNames))
+	for _, n := range knownNames {
+		known[n] = true
+	}
+
+	diags := append([]Diagnostic{}, allows.malformed...)
+	for _, lines := range allows.byLine {
+		for _, as := range lines {
+			for _, a := range as {
+				if !known[a.analyzer] {
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow", Pos: a.pos,
+						Message: "vetstorm:allow names unknown analyzer " + a.analyzer,
+					})
+				}
+			}
+		}
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, d := range pass.diags {
+			if a.IgnoreTests && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				continue
+			}
+			if allows.suppresses(a.Name, d.Pos) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,75 @@
+// Package seededrand enforces the repo's replay-determinism discipline:
+// every random decision flows from an explicit seed, so a chaos cell or
+// workload run can be replayed bit-for-bit from its printed seed
+// (ROADMAP: seed-deterministic chaos matrix, golden-seed generator
+// tests).
+//
+// Flagged:
+//
+//   - the process-global top-level functions of math/rand (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...) — they draw from a shared source
+//     whose state depends on every other caller in the process, so two
+//     runs with the same seed diverge as soon as goroutine interleaving
+//     differs;
+//   - rand.Seed, which mutates that global source;
+//   - all top-level functions of math/rand/v2, whose global source
+//     cannot be seeded at all.
+//
+// The blessed pattern is an owned generator with an explicit seed:
+//
+//	rng := rand.New(rand.NewSource(seed))
+//
+// Constructors (New, NewSource, NewZipf, and the v2 equivalents) are
+// therefore allowed; they are how the discipline is followed.
+package seededrand
+
+import (
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// constructors are the math/rand entry points that build an owned,
+// explicitly-seeded generator rather than touching global state.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer is the seededrand invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids the process-global math/rand functions; randomness must come from rand.New(rand.NewSource(seed)) so every run is replay-deterministic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for ident, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods on an owned *rand.Rand are the blessed pattern
+		}
+		if constructors[fn.Name()] {
+			continue
+		}
+		if fn.Name() == "Seed" {
+			pass.Reportf(ident.Pos(),
+				"rand.Seed mutates the process-global source: own your generator with rand.New(rand.NewSource(seed)) instead")
+			continue
+		}
+		pass.Reportf(ident.Pos(),
+			"global %s.%s draws from a process-wide source shared across goroutines: derive a *rand.Rand via rand.New(rand.NewSource(seed)) so runs stay replay-deterministic",
+			path, fn.Name())
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededrand"
+)
+
+// TestSeededRand runs the golden fixture: global math/rand and
+// math/rand/v2 functions flagged (calls and function values), owned
+// rand.New(rand.NewSource(seed)) generators allowed, annotations
+// honored.
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer, "a")
+}

@@ -1,0 +1,35 @@
+// Fixture for the seededrand analyzer: process-global math/rand use is
+// flagged, owned explicitly-seeded generators are the blessed pattern,
+// and annotated sites are suppressed.
+package a
+
+import "math/rand"
+
+func globals() int {
+	rand.Seed(42)                      // want `rand.Seed mutates the process-global source`
+	n := rand.Intn(10)                 // want `global math/rand.Intn draws from a process-wide source`
+	f := rand.Float64()                // want `global math/rand.Float64 draws from a process-wide source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle draws from a process-wide source`
+	_ = rand.Perm(4)                   // want `global math/rand.Perm draws from a process-wide source`
+	_ = f
+	return n
+}
+
+// funcValue catches the function-value escape hatch too.
+func funcValue() func() int64 {
+	return rand.Int63 // want `global math/rand.Int63 draws from a process-wide source`
+}
+
+// blessed is the required pattern: an owned generator with an explicit
+// seed. Methods on *rand.Rand are never flagged.
+func blessed(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(3, func(i, j int) {})
+	z := rand.NewZipf(rng, 1.1, 1.0, 100)
+	return rng.Intn(10) + int(z.Uint64())
+}
+
+// annotated documents a deliberate global draw (no want: suppressed).
+func annotated() int {
+	return rand.Intn(10) //vetstorm:allow seededrand demo-only jitter, determinism not required here
+}

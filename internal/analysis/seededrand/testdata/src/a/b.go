@@ -1,0 +1,17 @@
+package a
+
+import randv2 "math/rand/v2"
+
+// v2 has no Seed at all: every global draw is unreplayable by
+// construction, so all top-level functions are flagged. The constructor
+// path (NewPCG with explicit seeds) stays allowed.
+func v2globals() int {
+	n := randv2.IntN(10) // want `global math/rand/v2.IntN draws from a process-wide source`
+	_ = randv2.Float64() // want `global math/rand/v2.Float64 draws from a process-wide source`
+	return n
+}
+
+func v2blessed(seed uint64) uint64 {
+	rng := randv2.New(randv2.NewPCG(seed, seed))
+	return rng.Uint64()
+}

@@ -1,0 +1,44 @@
+// Package suite assembles the vetstorm analyzer set. cmd/vetstorm and
+// the analysistest harness both consume it, so the list of enforced
+// invariants — and the names //vetstorm:allow annotations may legally
+// reference — lives in exactly one place.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/eventrelease"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/unlockpath"
+	"repro/internal/analysis/wallclock"
+)
+
+// Options tunes the configurable analyzers.
+type Options struct {
+	// UnlockStrict also flags non-deferred critical sections spanning
+	// panicking calls.
+	UnlockStrict bool
+	// ExtraTransfers extends eventrelease's ownership-transfer callee
+	// list beyond the defaults (Send, Push, append).
+	ExtraTransfers []string
+}
+
+// Analyzers returns the full invariant suite under opts.
+func Analyzers(opts Options) []*analysis.Analyzer {
+	ec := eventrelease.DefaultConfig()
+	ec.Transfers = append(ec.Transfers, opts.ExtraTransfers...)
+	return []*analysis.Analyzer{
+		wallclock.Analyzer,
+		seededrand.Analyzer,
+		eventrelease.NewAnalyzer(ec),
+		unlockpath.NewAnalyzer(unlockpath.Config{Strict: opts.UnlockStrict}),
+	}
+}
+
+// Names lists every analyzer name an annotation may reference.
+func Names() []string {
+	var names []string
+	for _, a := range Analyzers(Options{}) {
+		names = append(names, a.Name)
+	}
+	return names
+}

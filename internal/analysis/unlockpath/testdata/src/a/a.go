@@ -1,0 +1,135 @@
+// Fixture for the unlockpath analyzer under the default (non-strict)
+// config: every Lock must be matched on every path out of the function.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	okd bool
+}
+
+// earlyReturnLeak is the canonical bug: the error path returns inside
+// the manual critical section.
+func (g *guarded) earlyReturnLeak(bad bool) int {
+	g.mu.Lock() // want `g.mu.Lock\(\) is not released on every path: return at line`
+	if bad {
+		return -1 // leaks g.mu
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// fallsOffEnd leaks at the function exit.
+func (g *guarded) fallsOffEnd() {
+	g.mu.Lock() // want `g.mu.Lock\(\) is not released on every path: function exit at line`
+	g.n++
+}
+
+// balancedManual is the hot-path style the analyzer must not flag.
+func (g *guarded) balancedManual(bad bool) int {
+	g.mu.Lock()
+	if bad {
+		g.mu.Unlock()
+		return -1
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// deferred is always safe.
+func (g *guarded) deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// deferredClosure releases inside a deferred func literal.
+func (g *guarded) deferredClosure() int {
+	g.mu.Lock()
+	defer func() {
+		g.okd = true
+		g.mu.Unlock()
+	}()
+	return g.n
+}
+
+// readLockLeak: RLock and RUnlock pair independently of Lock/Unlock.
+func (g *guarded) readLockLeak(bad bool) int {
+	g.rw.RLock() // want `g.rw.RLock\(\) is not released on every path: return at line`
+	if bad {
+		return -1
+	}
+	n := g.n
+	g.rw.RUnlock()
+	return n
+}
+
+// switchArms: every arm must release before its return.
+func (g *guarded) switchArms(mode int) int {
+	g.mu.Lock() // want `g.mu.Lock\(\) is not released on every path: return at line`
+	switch mode {
+	case 0:
+		g.mu.Unlock()
+		return 0
+	case 1:
+		return 1 // leaks
+	default:
+		g.mu.Unlock()
+		return 2
+	}
+}
+
+// loopContinue is the fabric retry shape: unlock before continue, and
+// the post-loop path unlocks too.
+func (g *guarded) loopContinue(rounds int) {
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock()
+		if g.okd {
+			g.mu.Unlock()
+			continue
+		}
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// panicExit stands down: lock state dies with the goroutine, and a
+// recover-based teardown is the owner's business.
+func (g *guarded) panicExit(bad bool) {
+	g.mu.Lock()
+	if bad {
+		panic("invariant broken")
+	}
+	g.mu.Unlock()
+}
+
+// embedded mutexes promote Lock/Unlock; the held-set keys on the
+// receiver expression.
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+func (e *embedded) leak(bad bool) int {
+	e.Lock() // want `e.Lock\(\) is not released on every path: return at line`
+	if bad {
+		return -1
+	}
+	n := e.n
+	e.Unlock()
+	return n
+}
+
+// annotated documents a hand-over-the-lock pattern (no want:
+// suppressed). The caller is contractually obliged to release.
+func (g *guarded) annotated() int {
+	g.mu.Lock() //vetstorm:allow unlockpath returns holding the lock, released by caller via unlockAfter
+	return g.n
+}
+
+func (g *guarded) unlockAfter() { g.mu.Unlock() }

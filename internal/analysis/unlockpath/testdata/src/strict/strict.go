@@ -1,0 +1,43 @@
+// Fixture for unlockpath strict mode: manual critical sections spanning
+// function calls are flagged (a panic inside the call leaks the lock);
+// deferred sections and call-free manual sections stay clean.
+package strict
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func work() int { return 1 }
+
+// manualSpansCall: the call between Lock and a non-deferred Unlock is
+// the strict-mode finding.
+func (b *box) manualSpansCall() {
+	b.mu.Lock() // want `non-deferred critical section on b.mu spans function calls`
+	b.n += work()
+	b.mu.Unlock()
+}
+
+// manualNoCalls touches only fields: nothing can panic away the unlock
+// in a way defer would fix, so even strict mode stays quiet.
+func (b *box) manualNoCalls() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// deferredSpansCall is the prescribed fix: defer survives the panic.
+func (b *box) deferredSpansCall() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n += work()
+}
+
+// annotated keeps the deliberate hot-path trade visible but quiet.
+func (b *box) annotated() {
+	b.mu.Lock() //vetstorm:allow unlockpath hot path: work cannot panic and defer costs a closure here
+	b.n += work()
+	b.mu.Unlock()
+}

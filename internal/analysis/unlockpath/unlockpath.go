@@ -1,0 +1,449 @@
+// Package unlockpath enforces the repo's lock hygiene across its
+// non-test mutexes: every sync.Mutex/RWMutex Lock must be released on
+// every path out of the function that took it. The hot paths
+// deliberately avoid defer (PR 3 made the steady-state event path
+// contention-free with manual unlocks), which is exactly the style this
+// analyzer exists to keep honest — a new early return inside a manual
+// critical section is a wedge, and the chaos matrix only finds it a
+// nightly later.
+//
+// The analysis is a lightweight path walk per function body: branches
+// fork the held-lock set, fall-through arms merge by union (held on any
+// arm counts as held), return statements and the function's end check
+// that nothing is still held. Deferred unlocks — including unlocks
+// inside a deferred closure — discharge on every exit. Aborting exits
+// (panic, os.Exit, t.Fatal) stand down: lock state dies with the
+// goroutine. Functions using goto or labeled branches are skipped
+// rather than analyzed wrongly.
+//
+// Strict mode (vetstorm -unlockpath.strict) additionally flags manual
+// critical sections that span function calls: a panic inside the call
+// leaks the lock where a defer would have released it. It is off by
+// default because the hot-path style is a deliberate trade; turn it on
+// to audit where that trade is being made.
+//
+// Intentional exceptions (a helper that returns with the lock held for
+// its caller to release) carry an annotation on the Lock line:
+//
+//	s.mu.Lock() //vetstorm:allow unlockpath handed to caller, released in flushLocked
+package unlockpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Strict also flags non-deferred critical sections spanning calls
+	// that can panic.
+	Strict bool
+}
+
+// Analyzer is the default (non-strict) unlockpath checker.
+var Analyzer = NewAnalyzer(Config{})
+
+// NewAnalyzer builds an unlockpath checker with cfg.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "unlockpath",
+		Doc:  "flags mutex Lock calls with a return path that misses Unlock (strict mode: non-deferred unlocks spanning panicking calls)",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+// lockInfo tracks one held acquisition.
+type lockInfo struct {
+	pos token.Pos // the Lock call, where diagnostics anchor
+	// spansCall is set when a function call happens while held and the
+	// unlock is not deferred — strict mode's trigger.
+	spansCall bool
+}
+
+// state is the set of held locks, keyed by receiver expression + mode
+// ("s.mu\x00W"). Cheap to clone at branches.
+type state map[string]*lockInfo
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k, v := range st {
+		cp := *v
+		c[k] = &cp
+	}
+	return c
+}
+
+// union merges fall-through arms: held on any arm counts as held.
+func union(states ...state) state {
+	out := make(state)
+	for _, st := range states {
+		for k, v := range st {
+			if have, ok := out[k]; ok {
+				have.spansCall = have.spansCall || v.spansCall
+				continue
+			}
+			cp := *v
+			out[k] = &cp
+		}
+	}
+	return out
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	cfg      Config
+	reported map[token.Pos]bool
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	w := &walker{pass: pass, cfg: cfg, reported: make(map[token.Pos]bool)}
+	analysis.Functions(pass.Files, func(name string, body *ast.BlockStmt) {
+		if analysis.HasGoto(body) {
+			return
+		}
+		end, terminated := w.walk(body.List, make(state))
+		if !terminated {
+			w.checkExit(end, body.Rbrace, "function exit")
+		}
+	})
+}
+
+// checkExit reports every lock still held at an exit, anchored at the
+// Lock call (the line a //vetstorm:allow annotation goes on).
+func (w *walker) checkExit(st state, exit token.Pos, kind string) {
+	for key, li := range st {
+		if w.reported[li.pos] {
+			continue
+		}
+		w.reported[li.pos] = true
+		expr, mode := splitKey(key)
+		w.pass.Reportf(li.pos, "%s.%s is not released on every path: %s at line %d misses %s.%s",
+			expr, lockName(mode), kind, w.pass.Fset.Position(exit).Line, expr, unlockName(mode))
+	}
+}
+
+func splitKey(key string) (expr, mode string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, "W"
+}
+
+func lockName(mode string) string {
+	if mode == "R" {
+		return "RLock()"
+	}
+	return "Lock()"
+}
+
+func unlockName(mode string) string {
+	if mode == "R" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// walk processes stmts sequentially, returning the resulting state and
+// whether every path through stmts terminated (returned/aborted).
+func (w *walker) walk(stmts []ast.Stmt, st state) (state, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		st, terminated = w.stmt(stmt, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind, ok := w.mutexOp(call); ok {
+				switch kind {
+				case opLock:
+					st[key] = &lockInfo{pos: call.Pos()}
+				case opUnlock:
+					if li, held := st[key]; held {
+						if w.cfg.Strict && li.spansCall && !w.reported[li.pos] {
+							w.reported[li.pos] = true
+							expr, mode := splitKey(key)
+							w.pass.Reportf(li.pos,
+								"non-deferred critical section on %s spans function calls: a panic before the %s at line %d would leak the lock — use defer %s.%s()",
+								expr, unlockName(mode), w.pass.Fset.Position(call.Pos()).Line, expr, unlockName(mode))
+						}
+						delete(st, key)
+					}
+				}
+				return st, false
+			}
+		}
+		if analysis.Terminates(w.pass.TypesInfo, s) {
+			return st, true
+		}
+		w.markCalls(st, s.X)
+		return st, false
+
+	case *ast.DeferStmt:
+		// A deferred unlock discharges on every exit; so does an unlock
+		// buried in a deferred closure.
+		if key, kind, ok := w.mutexOp(s.Call); ok && kind == opUnlock {
+			delete(st, key)
+			return st, false
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, kind, ok := w.mutexOp(call); ok && kind == opUnlock {
+						delete(st, key)
+					}
+				}
+				return true
+			})
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.markCalls(st, r)
+		}
+		w.checkExit(st, s.Pos(), "return")
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue leave the enclosing loop arm; the loop merge
+		// below already keeps the pre-iteration state alive.
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.walk(s.List, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.markCalls(st, s.Cond)
+		thenSt, thenTerm := w.walk(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return union(thenSt, elseSt), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.markCalls(st, s.Cond)
+		}
+		bodySt, _ := w.walk(s.Body.List, st.clone())
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return st, true // for{} without break never falls through
+		}
+		return union(st, bodySt), false
+
+	case *ast.RangeStmt:
+		w.markCalls(st, s.X)
+		bodySt, _ := w.walk(s.Body.List, st.clone())
+		return union(st, bodySt), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.caseArms(s, st)
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.markCalls(st, e)
+		}
+		return st, false
+
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.markCalls(st, a)
+		}
+		return st, false
+
+	case *ast.SendStmt:
+		w.markCalls(st, s.Value)
+		return st, false
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		return st, false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	}
+	return st, false
+}
+
+// caseArms handles switch/type-switch/select uniformly: each clause
+// forks the state, fall-through arms merge by union.
+func (w *walker) caseArms(s ast.Stmt, st state) (state, bool) {
+	var body *ast.BlockStmt
+	exhaustive := false // can control flow skip every arm?
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.markCalls(st, s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		exhaustive = true // select always runs exactly one arm
+	}
+	var fallThrough []state
+	allTerm := true
+	for _, cs := range body.List {
+		armSt := st.clone()
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				exhaustive = true // default clause
+			}
+			for _, e := range c.List {
+				w.markCalls(st, e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				armSt, _ = w.stmt(c.Comm, armSt)
+			}
+			stmts = c.Body
+		}
+		armSt, armTerm := w.walk(stmts, armSt)
+		if armTerm {
+			continue
+		}
+		allTerm = false
+		fallThrough = append(fallThrough, armSt)
+	}
+	if allTerm && exhaustive && len(body.List) > 0 {
+		return st, true
+	}
+	if !exhaustive {
+		fallThrough = append(fallThrough, st)
+	}
+	if len(fallThrough) == 0 {
+		return st, false
+	}
+	return union(fallThrough...), false
+}
+
+// markCalls records that a function call happened while locks are held
+// with their unlock not (yet) deferred — strict mode's evidence.
+func (w *walker) markCalls(st state, e ast.Expr) {
+	if len(st) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isMutex := w.mutexOp(call); isMutex {
+			return true
+		}
+		// Builtins and conversions cannot panic a held section away in
+		// a way defer would fix; everything else counts.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			switch w.pass.TypesInfo.Uses[id].(type) {
+			case *types.Builtin, *types.TypeName:
+				return true
+			}
+		}
+		for _, li := range st {
+			li.spansCall = true
+		}
+		return true
+	})
+}
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp recognizes Lock/Unlock/RLock/RUnlock calls on sync.Mutex,
+// sync.RWMutex and sync.Locker receivers (including mutexes promoted
+// from embedded fields) and returns the held-set key.
+func (w *walker) mutexOp(call *ast.CallExpr) (key string, kind opKind, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", opNone, false
+	}
+	fn, isFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone, false
+	}
+	var mode string
+	switch fn.Name() {
+	case "Lock":
+		mode, kind = "W", opLock
+	case "Unlock":
+		mode, kind = "W", opUnlock
+	case "RLock":
+		mode, kind = "R", opLock
+	case "RUnlock":
+		mode, kind = "R", opUnlock
+	default:
+		return "", opNone, false
+	}
+	return types.ExprString(sel.X) + "\x00" + mode, kind, true
+}
+
+// hasBreak reports whether body contains an unlabeled break binding to
+// the enclosing loop (breaks inside nested loops/switch/select bind
+// tighter and do not count).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK {
+				found = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	return found
+}

@@ -1,0 +1,26 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unlockpath"
+)
+
+// TestUnlockPath runs the default-config golden fixture: early returns,
+// fall-off-the-end exits, read locks, switch arms and promoted embedded
+// mutexes flagged at the Lock site; balanced manual sections, defers
+// (direct and in deferred closures), loop continue shapes and panic
+// exits stay clean; annotations suppress.
+func TestUnlockPath(t *testing.T) {
+	analysistest.Run(t, unlockpath.Analyzer, "a")
+}
+
+// TestUnlockPathStrict proves strict mode flags manual critical
+// sections spanning calls while leaving deferred and call-free sections
+// alone — and that the default analyzer reports none of it (fixture a
+// contains manual sections spanning calls that must stay quiet by
+// default).
+func TestUnlockPathStrict(t *testing.T) {
+	analysistest.Run(t, unlockpath.NewAnalyzer(unlockpath.Config{Strict: true}), "strict")
+}

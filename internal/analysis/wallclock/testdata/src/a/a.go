@@ -1,0 +1,54 @@
+// Fixture for the wallclock analyzer: direct wall-clock access is
+// flagged, pure time arithmetic is not, and an annotated site is
+// suppressed.
+package a
+
+import "time"
+
+func violations() time.Time {
+	now := time.Now()                // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)   // want `time.After reads the wall clock`
+	t := time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock`
+	t.Stop()
+	tm := time.NewTimer(time.Second) // want `time.NewTimer reads the wall clock`
+	tm.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc reads the wall clock`
+	_ = time.Since(now)                    // want `time.Since reads the wall clock`
+	return now
+}
+
+// funcValue smuggles the clock as a function value; identity-based
+// detection still catches it.
+func funcValue() func() time.Time {
+	f := time.Now // want `time.Now reads the wall clock`
+	return f
+}
+
+// aliased imports cannot dodge the check either — see b.go.
+
+// pureTimeUse shows the allowed surface: Duration arithmetic, parsing,
+// construction.
+func pureTimeUse() time.Duration {
+	d, _ := time.ParseDuration("3s")
+	epoch := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	return d + epoch.Sub(epoch)
+}
+
+// annotated documents a deliberate wall-clock read; the allow comment
+// suppresses the diagnostic (no want on these lines).
+func annotated() time.Time {
+	start := time.Now() //vetstorm:allow wallclock reporting real elapsed wall time to the operator
+	//vetstorm:allow wallclock annotation on the line above also binds
+	time.Sleep(time.Millisecond)
+	return start
+}
+
+// wrongAnalyzer shows an allow for a different analyzer does not
+// suppress a wallclock finding (malformed-annotation hygiene is unit
+// tested in internal/analysis directly, since a // want cannot share a
+// line with the annotation comment it targets).
+func wrongAnalyzer() time.Time {
+	//vetstorm:allow seededrand not the analyzer that fires here
+	return time.Now() // want `time.Now reads the wall clock`
+}

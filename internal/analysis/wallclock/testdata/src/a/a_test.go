@@ -1,0 +1,18 @@
+package a
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt from the wallclock discipline by construction
+// (Analyzer.IgnoreTests): tests own the wall clock for watchdog guards.
+// No want comments here — that absence is the assertion.
+func TestWatchdogGuardAllowed(t *testing.T) {
+	select {
+	case <-time.After(time.Millisecond):
+	default:
+	}
+	_ = time.Now()
+	time.Sleep(time.Microsecond)
+}

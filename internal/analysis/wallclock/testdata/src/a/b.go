@@ -1,0 +1,11 @@
+package a
+
+import (
+	stdtime "time"
+)
+
+// aliasedImport renames the package; detection keys off the callee's
+// identity, not its spelling.
+func aliasedImport() stdtime.Time {
+	return stdtime.Now() // want `time.Now reads the wall clock`
+}

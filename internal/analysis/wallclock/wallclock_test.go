@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wallclock"
+)
+
+// TestWallclock runs the golden fixture: every wall-clock entry point
+// flagged (including function-value references and aliased imports),
+// pure time arithmetic untouched, //vetstorm:allow wallclock honored on
+// the same line and the line above, and _test.go files exempt.
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "a")
+}

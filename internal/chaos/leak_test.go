@@ -1,0 +1,13 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any chaos cell leaks its crashed or
+// recovered engine's goroutines past the cell teardown.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

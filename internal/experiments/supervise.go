@@ -94,8 +94,14 @@ func RunSupervised(ctx context.Context, sc SuperviseScenario) (SuperviseResult, 
 	res.Victim = victim.String()
 	sc.progress("killed %s — no restart; the supervisor must recover it", victim)
 
-	// Follow the event stream until the incident closes.
-	guard := time.After(2 * time.Minute) // wall-clock guard
+	// Follow the event stream until the incident closes. The guard is a
+	// paper-time deadline on the job's own clock: every supervisor
+	// deadline it is racing (missed-beat detection, restore timeout,
+	// retry backoff) is paper time, so a wall-clock guard here would
+	// spuriously trip on a slowed clock and grossly overwait on a
+	// compressed one. Ten paper-minutes covers detection (seconds),
+	// restore (30 s) and a few degraded-ladder retries at any scale.
+	guard := clock.After(10 * time.Minute)
 	for res.MTTR == 0 {
 		select {
 		case ev, ok := <-events:

@@ -1,0 +1,13 @@
+package job
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a job event-stream
+// pump or engine goroutine past Close.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

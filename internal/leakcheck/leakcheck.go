@@ -1,0 +1,131 @@
+// Package leakcheck fails a test binary that leaks goroutines, in the
+// spirit of go.uber.org/goleak's VerifyTestMain (stdlib-only: the repo
+// builds hermetically, so vendoring uber's module is not an option).
+//
+// The goroutine-heavy packages (runtime, job, supervisor, chaos) wire
+// it into TestMain; after the package's tests pass, the checker
+// snapshots all goroutine stacks, filters the benign runtime/testing
+// machinery, and retries with backoff while shutdown stragglers drain.
+// Anything still alive after the grace window — a fabric shard that
+// missed its wake, an unreaped executor, a forgotten respawn timer —
+// fails the binary with the offending stacks printed.
+//
+// This file is test infrastructure that measures real wall time by
+// design; its wall-clock reads carry vetstorm annotations.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxGrace is how long Check waits for in-flight shutdown to finish
+// before declaring a leak. Engine teardown is paper-time scaled and can
+// trail the final assertion by scheduler jitter; five wall seconds is
+// orders of magnitude beyond any legitimate straggler.
+const maxGrace = 5 * time.Second
+
+// VerifyTestMain runs the package's tests and then verifies no
+// goroutines leaked. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(maxGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check returns an error listing the goroutines still alive after
+// grace. Exported for tests that want a mid-run checkpoint.
+func Check(grace time.Duration) error {
+	deadline := time.Now().Add(grace) //vetstorm:allow wallclock leak grace window is real wall time by design
+	backoff := time.Millisecond
+	for {
+		leaked := leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) { //vetstorm:allow wallclock leak grace window is real wall time by design
+			return fmt.Errorf("%d goroutine(s) still alive after %v:\n\n%s",
+				len(leaked), grace, strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(backoff) //vetstorm:allow wallclock polling real scheduler progress, paper time cannot drain it
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// leakedGoroutines snapshots all stacks and drops the benign ones,
+// including the goroutine running the check itself (matched by its
+// "goroutine N" header, not by package path — tests in this package
+// deliberately leak goroutines whose stacks also mention leakcheck).
+func leakedGoroutines() []string {
+	self := make([]byte, 256)
+	self = self[:runtime.Stack(self, false)]
+	selfHeader, _, _ := strings.Cut(string(self), "[")
+
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(strings.TrimSpace(string(buf)), "\n\n") {
+		if strings.HasPrefix(g, selfHeader) {
+			continue
+		}
+		if !benign(g) {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// benignMarkers identify goroutines owned by the runtime and testing
+// machinery, plus this checker itself.
+var benignMarkers = []string{
+	"testing.Main(",           // testing harness
+	"testing.(*M).",           // profile/coverage writers
+	"testing.runTests",        //
+	"testing.(*T).Run",        // parent frames of still-parked subtest runners
+	"runtime.goexit0",         //
+	"os/signal.signal_recv",   // signal mux installed by os/signal init
+	"os/signal.loop",          //
+	"runtime/trace.Start",     //
+	"runtime.ReadTrace",       //
+	"runtime.ensureSigM",      // signal mask goroutine
+	"created by runtime.gc",   //
+	"runtime.MHeap_Scavenger", //
+	"runtime.bgsweep",         //
+	"runtime.bgscavenge",      //
+	"runtime.forcegchelper",   //
+	"runtime.runfinq",         // finalizer goroutine (sync.Pool cleanups)
+	"runtime.timerGoroutine",  //
+	"go.itab",                 //
+}
+
+func benign(stack string) bool {
+	if strings.TrimSpace(stack) == "" {
+		return true
+	}
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	return false
+}

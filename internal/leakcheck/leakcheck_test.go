@@ -1,0 +1,49 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckCleanPasses: a quiet binary has no leaks to report.
+func TestCheckCleanPasses(t *testing.T) {
+	if err := Check(time.Second); err != nil {
+		t.Fatalf("clean state reported as leak: %v", err)
+	}
+}
+
+// TestCheckCatchesLeak pins a goroutine and expects Check to name it.
+func TestCheckCatchesLeak(t *testing.T) {
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop // parked: a deliberate leak while Check runs
+	}()
+	<-started
+	err := Check(50 * time.Millisecond)
+	close(stop)
+	if err == nil {
+		t.Fatal("Check missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "TestCheckCatchesLeak") {
+		t.Fatalf("leak report should include the leaking stack, got:\n%v", err)
+	}
+}
+
+// TestCheckWaitsForStragglers: a goroutine that exits within the grace
+// window is not a leak — the retry loop must absorb shutdown tails.
+func TestCheckWaitsForStragglers(t *testing.T) {
+	release := make(chan struct{})
+	go func() {
+		<-release
+	}()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("straggler within grace window reported as leak: %v", err)
+	}
+}

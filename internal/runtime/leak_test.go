@@ -1,0 +1,13 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks an executor, fabric
+// shard, or timer goroutine past teardown.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

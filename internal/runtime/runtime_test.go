@@ -90,6 +90,10 @@ func newHarnessCfg(t *testing.T, topo *topology.Topology, cfg Config) *harness {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
+	// Stop is idempotent, so tests that stop the engine themselves (or
+	// assert double-Stop) are unaffected; this catches the ones that only
+	// inspect the engine and would otherwise leak its fabric shards.
+	t.Cleanup(eng.Stop)
 
 	// Spare scale-in target: D3 VMs.
 	spare := clus.Provision(cluster.D3, (len(inner)+3)/4, clock.Now())

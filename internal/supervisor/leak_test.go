@@ -1,0 +1,13 @@
+package supervisor
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a watchdog, probe, or
+// restore goroutine past supervisor shutdown.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}
