@@ -7,6 +7,15 @@
 //	go run ./cmd/benchdiff -against BENCH_PR3.json      # run + compare
 //	go run ./cmd/benchdiff -against old.json -out new.json
 //
+// -gate turns the comparison into a CI check: name=maxpct pairs name
+// benchmarks (package path and GOMAXPROCS suffix ignored) whose ns/op
+// may not regress more than maxpct percent versus the -against
+// snapshot, and any violation — or a gated benchmark missing from
+// either side — makes the run exit non-zero:
+//
+//	go run ./cmd/benchdiff -against BENCH_PR10.json \
+//	    -gate 'BenchmarkFabricThroughput=100,BenchmarkQueuePushPop=100'
+//
 // The default target set covers the perf-critical packages (acker,
 // metrics, queue, runtime fabric, statestore codec) plus the root
 // package's high-parallelism Grid run; the full §5 evaluation-matrix
@@ -79,8 +88,16 @@ func run(args []string, stdout io.Writer) error {
 	against := fs.String("against", "", "compare the run against a previous snapshot file")
 	benchtime := fs.String("benchtime", "20000x", "benchtime passed to go test (per-target overrides win)")
 	pkgs := fs.String("pkgs", "", "comma-separated package list overriding the default targets (bench regex '.')")
+	gate := fs.String("gate", "", "comma-separated name=maxpct pairs: fail if the named benchmark's ns/op regresses more than maxpct percent vs -against")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	rules, err := parseGate(*gate)
+	if err != nil {
+		return err
+	}
+	if len(rules) > 0 && *against == "" {
+		return fmt.Errorf("-gate requires -against")
 	}
 
 	targets := defaultTargets
@@ -125,6 +142,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		printDiff(stdout, old, snap)
+		if len(rules) > 0 {
+			if err := applyGate(stdout, rules, old, snap); err != nil {
+				return err
+			}
+		}
 	}
 	if *out != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")
@@ -184,6 +206,108 @@ func parseBenchOutput(out string) map[string]Result {
 		results[fields[0]] = r
 	}
 	return results
+}
+
+// gateRule is one -gate entry: the benchmark's bare name and the
+// maximum tolerated ns/op regression in percent.
+type gateRule struct {
+	Name   string
+	MaxPct float64
+}
+
+// parseGate parses "name=maxpct,name=maxpct". An empty spec yields no
+// rules.
+func parseGate(spec string) ([]gateRule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []gateRule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, pct, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("gate entry %q: want name=maxpct", part)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(pct), 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("gate entry %q: bad percentage %q", part, pct)
+		}
+		rules = append(rules, gateRule{Name: strings.TrimSpace(name), MaxPct: max})
+	}
+	return rules, nil
+}
+
+// baseBenchName strips the package prefix and the -N GOMAXPROCS suffix
+// from a snapshot key, so gates name benchmarks portably across
+// machines and package moves.
+func baseBenchName(key string) string {
+	name := key[strings.LastIndex(key, "/")+1:]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// findByBase returns the single entry whose base name matches, erroring
+// on zero or multiple matches — a gate must never silently pass because
+// the benchmark it guards was renamed away.
+func findByBase(benches map[string]Result, base string) (Result, error) {
+	var found []string
+	for key := range benches {
+		if baseBenchName(key) == base {
+			found = append(found, key)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return benches[found[0]], nil
+	case 0:
+		return Result{}, fmt.Errorf("benchmark %q not present", base)
+	default:
+		sort.Strings(found)
+		return Result{}, fmt.Errorf("benchmark %q is ambiguous: %v", base, found)
+	}
+}
+
+// applyGate checks every rule against the old and new snapshots and
+// returns an error describing all violations. Missing benchmarks are
+// violations too.
+func applyGate(w io.Writer, rules []gateRule, old, new Snapshot) error {
+	var failures []string
+	fmt.Fprintf(w, "\ngate (max ns/op regression vs baseline):\n")
+	for _, rule := range rules {
+		o, err := findByBase(old.Benchmarks, rule.Name)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: baseline: %v", rule.Name, err))
+			continue
+		}
+		n, err := findByBase(new.Benchmarks, rule.Name)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: this run: %v", rule.Name, err))
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: baseline ns/op is %v", rule.Name, o.NsPerOp))
+			continue
+		}
+		pct := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		verdict := "ok"
+		if pct > rule.MaxPct {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%%, limit +%.0f%%)",
+				rule.Name, n.NsPerOp, o.NsPerOp, pct, rule.MaxPct))
+		}
+		fmt.Fprintf(w, "  %-48s %+8.1f%% (limit %+.0f%%)  %s\n", rule.Name, pct, rule.MaxPct, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func readSnapshot(path string) (Snapshot, error) {

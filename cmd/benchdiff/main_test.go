@@ -58,6 +58,91 @@ func TestDiffRendersAgainstSnapshot(t *testing.T) {
 	}
 }
 
+func TestParseGate(t *testing.T) {
+	rules, err := parseGate("BenchmarkFabricThroughput=100, BenchmarkQueuePushPop=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "BenchmarkFabricThroughput" || rules[0].MaxPct != 100 ||
+		rules[1].Name != "BenchmarkQueuePushPop" || rules[1].MaxPct != 25 {
+		t.Fatalf("parsed %+v", rules)
+	}
+	for _, bad := range []string{"NoEquals", "X=notanumber", "X=-5"} {
+		if _, err := parseGate(bad); err == nil {
+			t.Fatalf("parseGate(%q) accepted", bad)
+		}
+	}
+	if rules, err := parseGate(""); err != nil || rules != nil {
+		t.Fatalf("empty spec: %v %v", rules, err)
+	}
+}
+
+func TestBaseBenchName(t *testing.T) {
+	for key, want := range map[string]string{
+		"./internal/runtime/BenchmarkFabricThroughput":   "BenchmarkFabricThroughput",
+		"./internal/runtime/BenchmarkFabricThroughput-8": "BenchmarkFabricThroughput",
+		"./internal/queue/BenchmarkQueuePushPop-16":      "BenchmarkQueuePushPop",
+		".":                     ".",
+		"./x/BenchmarkSub-Zero": "BenchmarkSub-Zero", // non-numeric suffix kept
+	} {
+		if got := baseBenchName(key); got != want {
+			t.Fatalf("baseBenchName(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestApplyGate(t *testing.T) {
+	old := Snapshot{Benchmarks: map[string]Result{
+		"./internal/runtime/BenchmarkFabricThroughput": {NsPerOp: 1000},
+		"./internal/queue/BenchmarkQueuePushPop-8":     {NsPerOp: 50},
+	}}
+	within := Snapshot{Benchmarks: map[string]Result{
+		"./internal/runtime/BenchmarkFabricThroughput-4": {NsPerOp: 1500},
+		"./internal/queue/BenchmarkQueuePushPop":         {NsPerOp: 60},
+	}}
+	rules, _ := parseGate("BenchmarkFabricThroughput=100,BenchmarkQueuePushPop=100")
+	var buf bytes.Buffer
+	if err := applyGate(&buf, rules, old, within); err != nil {
+		t.Fatalf("within-limit run failed gate: %v\n%s", err, buf.String())
+	}
+
+	regressed := Snapshot{Benchmarks: map[string]Result{
+		"./internal/runtime/BenchmarkFabricThroughput": {NsPerOp: 2500}, // +150%
+		"./internal/queue/BenchmarkQueuePushPop":       {NsPerOp: 60},
+	}}
+	err := applyGate(&buf, rules, old, regressed)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFabricThroughput") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+
+	// A gated benchmark missing from the run must fail, not pass.
+	missing := Snapshot{Benchmarks: map[string]Result{
+		"./internal/runtime/BenchmarkFabricThroughput": {NsPerOp: 1000},
+	}}
+	err = applyGate(&buf, rules, old, missing)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkQueuePushPop") {
+		t.Fatalf("missing benchmark not caught: %v", err)
+	}
+
+	// Ambiguous base names must fail loudly.
+	dup := Snapshot{Benchmarks: map[string]Result{
+		"./a/BenchmarkQueuePushPop": {NsPerOp: 50},
+		"./b/BenchmarkQueuePushPop": {NsPerOp: 50},
+	}}
+	r2, _ := parseGate("BenchmarkQueuePushPop=10")
+	if err := applyGate(&buf, r2, dup, within); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguity not caught: %v", err)
+	}
+}
+
+func TestGateRequiresAgainst(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-gate", "BenchmarkQueuePushPop=10"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-against") {
+		t.Fatalf("gate without -against accepted: %v", err)
+	}
+}
+
 // TestRunSmoke executes the tool end to end against the fastest target
 // only; skipped in -short runs (it shells out to go test).
 func TestRunSmoke(t *testing.T) {

@@ -61,6 +61,9 @@ func Matrix(seed int64) []Cell {
 		{core.DSM{}, runtime.PhaseRebalanceStart, ChainHot(s(2)), false},
 		{core.DSM{}, runtime.PhaseRebalanceEnd, ChainBurst(s(3)), false},
 		{core.DSM{}, "", ChainSkew(s(4)), false},
+		// The batch-boundary cell: oversized micro-batches keep whole
+		// link batches staged in flight, and the crash lands mid-flush.
+		{core.DSM{}, runtime.PhaseRebalanceStart, ChainBatch(s(13)), false},
 		{core.DCR{}, runtime.PhaseDrainEnd, DagDeep(s(5)), false},
 		{core.DCR{}, runtime.PhaseRebalanceStart, DagJitter(s(6)), false},
 		{core.DCR{}, runtime.PhaseRebalanceEnd, DagSkew(s(7)), false},
@@ -145,7 +148,7 @@ type Result struct {
 	// Generations is the per-migration boundary accounting; GenSum is
 	// the per-generation emit counts summed (must equal Emitted).
 	Generations []runtime.GenerationStat
-	GenSum int
+	GenSum      int
 	// Boundary sums boundary violations across generations.
 	Boundary int
 	// Victims names the executors crashed, one per injected crash.
@@ -187,8 +190,12 @@ func RunCell(ctx context.Context, cell Cell, o Options) Result {
 			cfg.Network.Jitter = sc.Jitter
 			cfg.Network.JitterSeed = uint64(sc.Seed)
 			cfg.Network.Partitions = sc.Partitions
+			if sc.BatchSize != 0 {
+				cfg.BatchMaxSize = sc.BatchSize
+				cfg.BatchMaxDelay = sc.BatchDelay
+			}
 			// Chaos probes correctness, not §5 enactment timing: compress
-			// the operational delays so a 12-cell matrix fits in CI.
+			// the operational delays so a 13-cell matrix fits in CI.
 			cfg.RebalanceCmdTime = 2 * time.Second
 			cfg.WorkerBaseDelay = 2 * time.Second
 			cfg.WorkerStagger = 500 * time.Millisecond

@@ -51,10 +51,11 @@ func TestChaosMatrix(t *testing.T) {
 // quiesced phases; every strategy appears with a crash-free cell.
 func TestMatrixShape(t *testing.T) {
 	cells := Matrix(7)
-	if len(cells) != 12 {
-		t.Fatalf("matrix has %d cells, want 12", len(cells))
+	if len(cells) != 13 {
+		t.Fatalf("matrix has %d cells, want 13", len(cells))
 	}
 	steady := map[string]bool{}
+	batch := false
 	for _, c := range cells {
 		name := c.Strategy.Name()
 		if c.Phase == "" {
@@ -73,6 +74,19 @@ func TestMatrixShape(t *testing.T) {
 		if len(c.Scenario.Partitions) != 0 && c.Phase != "" {
 			t.Fatalf("%s: partition scenario on a crash cell", c.ID())
 		}
+		if c.Scenario.BatchSize > 1 {
+			if c.Phase == "" {
+				t.Fatalf("%s: batch-boundary scenario must be a crash cell", c.ID())
+			}
+			if c.Scenario.BatchDelay <= time.Millisecond {
+				t.Fatalf("%s: batch scenario delay %v too small to keep batches in flight",
+					c.ID(), c.Scenario.BatchDelay)
+			}
+			batch = true
+		}
+	}
+	if !batch {
+		t.Fatal("matrix has no batch-boundary crash cell")
 	}
 	for _, s := range []string{"DSM", "DCR", "CCR"} {
 		if !steady[s] {

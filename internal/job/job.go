@@ -196,6 +196,10 @@ func Submit(ctx context.Context, spec dataflows.Spec, opts ...Option) (*Job, err
 	if o.fabricShards > 0 {
 		cfg.FabricShards = o.fabricShards
 	}
+	if o.batchSet {
+		cfg.BatchMaxSize = o.batchSize
+		cfg.BatchMaxDelay = o.batchDelay
+	}
 	if o.overrides != nil {
 		o.overrides(&cfg)
 	}

@@ -1,6 +1,8 @@
 package job
 
 import (
+	"time"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/runtime"
@@ -25,6 +27,9 @@ type options struct {
 	seed         int64
 	seedSet      bool
 	fabricShards int
+	batchSize    int
+	batchDelay   time.Duration
+	batchSet     bool
 	sourceRate   float64
 	overrides    func(*runtime.Config)
 	scheduler    scheduler.Scheduler
@@ -76,6 +81,16 @@ func WithSeed(seed int64) Option {
 // WithFabricShards sets the delivery scheduler's shard count (zero means
 // GOMAXPROCS).
 func WithFabricShards(n int) Option { return func(o *options) { o.fabricShards = n } }
+
+// WithBatching sets the delivery fabric's per-link micro-batch limits:
+// a link batch flushes at size events or delay of paper time after its
+// first event, whichever comes first. WithBatching(1, 0) disables
+// batching entirely — every send is scheduled individually, the
+// pre-batching semantics. The default is the engine default (64 events,
+// 1 ms).
+func WithBatching(size int, delay time.Duration) Option {
+	return func(o *options) { o.batchSize, o.batchDelay, o.batchSet = size, delay, true }
+}
 
 // WithSourceRate overrides the initial per-source emission rate in ev/s.
 func WithSourceRate(r float64) Option { return func(o *options) { o.sourceRate = r } }

@@ -61,6 +61,73 @@ func (q *Queue) Push(e *tuple.Event) bool {
 	return true
 }
 
+// PushBatch appends evs to the tail as one atomic ring append: one lock
+// acquisition, at most one ring grow (the ring is pre-sized to hold the
+// whole batch before any element lands), and one consumer wakeup. It is
+// all-or-nothing — it reports false and enqueues nothing if the queue is
+// closed, so a delivery batch either lands intact or the sender accounts
+// for every event. An empty batch is a no-op reporting true.
+func (q *Queue) PushBatch(evs []*tuple.Event) bool {
+	if len(evs) == 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	if need := q.n + len(evs); need > len(q.buf) {
+		capacity := max(minCap, 2*len(q.buf))
+		for capacity < need {
+			capacity *= 2
+		}
+		q.resize(capacity)
+	}
+	for i, e := range evs {
+		q.buf[(q.head+q.n+i)%len(q.buf)] = e
+	}
+	q.n += len(evs)
+	q.nonEmptyOrClosed.Signal()
+	return true
+}
+
+// PopBatch blocks until at least one event is available (or the queue is
+// closed), then moves up to cap(buf) events into buf in FIFO order and
+// returns the filled prefix. One lock acquisition drains a whole
+// delivered batch — the consumer-side mirror of PushBatch. It returns
+// ok=false only when the queue is closed and empty.
+func (q *Queue) PopBatch(buf []*tuple.Event) (out []*tuple.Event, ok bool) {
+	if cap(buf) == 0 {
+		return nil, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.nonEmptyOrClosed.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	out = buf[:0]
+	k := min(cap(buf), q.n)
+	for i := 0; i < k; i++ {
+		idx := (q.head + i) % len(q.buf)
+		out = append(out, q.buf[idx])
+		q.buf[idx] = nil // allow GC of the drained slot
+	}
+	q.head = (q.head + k) % len(q.buf)
+	q.n -= k
+	// Shrink once for the whole drain instead of per element.
+	capacity := len(q.buf)
+	for capacity > minCap && q.n <= capacity/4 {
+		capacity /= 2
+	}
+	if capacity != len(q.buf) {
+		q.resize(max(capacity, minCap))
+	}
+	return out, true
+}
+
 // Pop blocks until an event is available or the queue is closed. It
 // reports ok=false only when the queue is closed and empty.
 func (q *Queue) Pop() (e *tuple.Event, ok bool) {

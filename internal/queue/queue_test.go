@@ -361,3 +361,183 @@ func TestSnapshotProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- batch operations -----------------------------------------------------
+
+func evs(n int, base int) []*tuple.Event {
+	out := make([]*tuple.Event, n)
+	for i := range out {
+		out[i] = ev(tuple.ID(base + i + 1))
+	}
+	return out
+}
+
+func TestPushBatchFIFOWithSingles(t *testing.T) {
+	q := New()
+	if !q.Push(ev(1)) {
+		t.Fatal("Push rejected")
+	}
+	if !q.PushBatch(evs(5, 1)) { // IDs 2..6
+		t.Fatal("PushBatch rejected on open queue")
+	}
+	if !q.Push(ev(7)) {
+		t.Fatal("Push rejected")
+	}
+	if !q.PushBatch(nil) {
+		t.Fatal("empty PushBatch must succeed")
+	}
+	for i := 1; i <= 7; i++ {
+		e, ok := q.Pop()
+		if !ok || e.ID != tuple.ID(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, e, ok)
+		}
+	}
+}
+
+func TestPushBatchAllOrNothingOnClosed(t *testing.T) {
+	q := New()
+	q.Close()
+	if q.PushBatch(evs(3, 0)) {
+		t.Fatal("PushBatch accepted on closed queue")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("closed queue holds %d events after rejected batch", q.Len())
+	}
+}
+
+// TestPushBatchPreSizesRing: a batch append grows the ring at most once,
+// no matter how far the batch exceeds the current capacity.
+func TestPushBatchPreSizesRing(t *testing.T) {
+	q := New()
+	q.Push(ev(1))
+	before := q.Cap() // minCap
+	if !q.PushBatch(evs(1000, 1)) {
+		t.Fatal("PushBatch rejected")
+	}
+	if q.Cap() < 1001 {
+		t.Fatalf("ring cap %d cannot hold %d queued events", q.Cap(), q.Len())
+	}
+	// The grow is a single resize: capacity is the first power-of-two
+	// step that fits, not the result of repeated doubling-and-copying.
+	if q.Cap() != 1024 && before == minCap {
+		t.Fatalf("ring cap %d, want one grow to 1024 from %d", q.Cap(), before)
+	}
+	for i := 1; i <= 1001; i++ {
+		e, ok := q.Pop()
+		if !ok || e.ID != tuple.ID(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, e, ok)
+		}
+	}
+}
+
+func TestPopBatchDrainsFIFO(t *testing.T) {
+	q := New()
+	q.PushBatch(evs(10, 0))
+	buf := make([]*tuple.Event, 4)
+	want := tuple.ID(1)
+	for popped := 0; popped < 10; {
+		out, ok := q.PopBatch(buf)
+		if !ok {
+			t.Fatal("PopBatch reported closed on non-empty queue")
+		}
+		if len(out) > 4 {
+			t.Fatalf("PopBatch returned %d > cap 4", len(out))
+		}
+		for _, e := range out {
+			if e.ID != want {
+				t.Fatalf("got ID %d, want %d", e.ID, want)
+			}
+			want++
+		}
+		popped += len(out)
+	}
+	q.Close()
+	if _, ok := q.PopBatch(buf); ok {
+		t.Fatal("PopBatch reported ok on closed empty queue")
+	}
+}
+
+func TestPopBatchBlocksUntilPushBatch(t *testing.T) {
+	q := New()
+	got := make(chan int, 1)
+	go func() {
+		out, ok := q.PopBatch(make([]*tuple.Event, 8))
+		if ok {
+			got <- len(out)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer block
+	q.PushBatch(evs(3, 0))
+	select {
+	case n := <-got:
+		if n != 3 {
+			t.Fatalf("PopBatch drained %d, want 3", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PopBatch never unblocked after PushBatch")
+	}
+}
+
+// TestCloseAndDrainAccountsEveryBatchPush mirrors the single-push
+// accounting guarantee for batches: with concurrent PushBatch racing a
+// CloseAndDrain, every event is either drained (counted by the kill) or
+// its whole batch was rejected (counted by the sender) — all-or-nothing,
+// never a partial batch.
+func TestCloseAndDrainAccountsEveryBatchPush(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		q := New()
+		const producers = 4
+		const batches = 8
+		const batchLen = 5
+		var rejected atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < batches; i++ {
+					if !q.PushBatch(evs(batchLen, i*batchLen)) {
+						rejected.Add(int64(batchLen))
+					}
+				}
+			}()
+		}
+		drained := make(chan int)
+		go func() {
+			<-start
+			drained <- len(q.CloseAndDrain())
+		}()
+		close(start)
+		n := <-drained
+		wg.Wait()
+		// Late rejections after the drain returned are still counted.
+		leftover := q.Len()
+		if total := n + leftover + int(rejected.Load()); total != producers*batches*batchLen {
+			t.Fatalf("round %d: drained %d + leftover %d + rejected %d != %d",
+				round, n, leftover, rejected.Load(), producers*batches*batchLen)
+		}
+	}
+}
+
+// BenchmarkQueueBurstBatch is BenchmarkQueueBurst through the batch API:
+// one pre-sized ring append and one batched drain per burst.
+func BenchmarkQueueBurstBatch(b *testing.B) {
+	const burst = 1024
+	batch := evs(burst, 0)
+	buf := make([]*tuple.Event, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := New()
+		q.PushBatch(batch)
+		for drained := 0; drained < burst; {
+			out, ok := q.PopBatch(buf)
+			if !ok {
+				b.Fatal("queue closed")
+			}
+			drained += len(out)
+		}
+	}
+}

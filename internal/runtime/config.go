@@ -113,6 +113,20 @@ type Config struct {
 	// topology size; links are hashed across them.
 	FabricShards int
 
+	// BatchMaxSize caps the per-link delivery micro-batch: the fabric
+	// stages sends per (sender, receiver) link and flushes a batch into
+	// the scheduler when it reaches this size or when BatchMaxDelay
+	// elapses, whichever comes first. Values <= 1 disable batching: every
+	// Send flushes immediately with the latency computed at send time —
+	// the exact pre-batching semantics.
+	BatchMaxSize int
+	// BatchMaxDelay is the Nagle-style flush deadline (paper time) for a
+	// partially filled link batch, measured from the batch's first event.
+	// It bounds the extra delivery delay batching can add to a trickle.
+	// Non-positive values disable batching the same way BatchMaxSize=1
+	// does.
+	BatchMaxDelay time.Duration
+
 	// RebalanceCmdTime is the runtime of the rebalance command itself
 	// (kill, reassign, supervisor sync) — ~7 s in the paper, roughly
 	// constant across dataflows and cluster sizes.
@@ -171,6 +185,8 @@ func DefaultConfig(mode Mode) Config {
 		Network:            cluster.DefaultNetwork(),
 		StoreLatency:       statestore.DefaultLatency(),
 		TransportBufferCap: 64,
+		BatchMaxSize:       64,
+		BatchMaxDelay:      time.Millisecond,
 		RebalanceCmdTime:   7 * time.Second,
 		WorkerBaseDelay:    6 * time.Second,
 		WorkerStagger:      1800 * time.Millisecond,

@@ -83,8 +83,8 @@ type Engine struct {
 	// every enactment separately.
 	migrationGen atomic.Uint64
 	stopping     atomic.Bool   // Stop in progress: its kills are discard, not loss
-	lostKill  atomic.Int64  // data events dropped by executor kills
-	srcRate   atomic.Uint64 // live per-source rate (math.Float64bits)
+	lostKill     atomic.Int64  // data events dropped by executor kills
+	srcRate      atomic.Uint64 // live per-source rate (math.Float64bits)
 
 	// stopDone is closed once Stop has fully torn the engine down;
 	// concurrent Stop callers wait on it so "Stop returned" always means
@@ -216,7 +216,17 @@ func New(p Params) (*Engine, error) {
 	}
 	// Last, after validation can no longer fail: the fabric spawns its
 	// shard goroutines eagerly, and an error return above would leak them.
-	e.fab = newFabric(p.Clock, p.Config.Network, e.slotOf, e.slotOfInst, e.deliver, p.Config.FabricShards)
+	e.fab = newFabric(fabricParams{
+		clock:        p.Clock,
+		net:          p.Config.Network,
+		slotOf:       e.slotOf,
+		slotOfInst:   e.slotOfInst,
+		deliver:      e.deliver,
+		deliverBatch: e.deliverBatch,
+		shards:       p.Config.FabricShards,
+		batchSize:    p.Config.BatchMaxSize,
+		batchDelay:   p.Config.BatchMaxDelay,
+	})
 	return e, nil
 }
 
@@ -628,9 +638,7 @@ func (e *Engine) spawn(inst topology.Instance) {
 	ex := newExecutor(e, inst, false)
 	if buf != nil {
 		buf.mu.Lock()
-		for _, ev := range buf.events {
-			ex.in.Push(ev)
-		}
+		ex.in.PushBatch(buf.events) // queue is fresh and open: cannot fail
 		buf.events = nil
 		buf.flushed = true
 		buf.mu.Unlock()
@@ -754,6 +762,33 @@ func (e *Engine) deliver(to topology.Instance, ev *tuple.Event) bool {
 		}
 		return false
 	}
+}
+
+// deliverBatch pushes a whole fabric batch onto the destination
+// executor's queue in one ring append and one wakeup, returning the
+// events that could not be delivered. The fast path — a live executor —
+// is one registry read and one PushBatch; anything else (respawning
+// destination, kill race, transport buffering) takes the per-event
+// deliver path, whose accounting is exactly the single-event fabric's.
+func (e *Engine) deliverBatch(to topology.Instance, evs []*tuple.Event) (rejected []*tuple.Event) {
+	e.mu.RLock()
+	ex := e.executors[to]
+	e.mu.RUnlock()
+	if ex != nil && !ex.killed.Load() {
+		// A Kill racing with this push cannot lose events uncounted: the
+		// kill closes and drains the queue in one atomic step, so the
+		// batch either lands before the drain (counted by Kill) or is
+		// rejected whole and re-tried event by event below.
+		if ex.in.PushBatch(evs) {
+			return nil
+		}
+	}
+	for _, ev := range evs {
+		if !e.deliver(to, ev) {
+			rejected = append(rejected, ev)
+		}
+	}
+	return rejected
 }
 
 // routeData fans a processed event's output out along every outgoing

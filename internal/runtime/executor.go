@@ -36,6 +36,13 @@ type Executor struct {
 
 	killed atomic.Bool
 
+	// held counts the events the run loop has popped in its current batch
+	// but not yet started handling. QueueLen adds it to the ring depth so
+	// batch-draining the queue does not make backlog observers (drain
+	// detection, QueueDepths diagnostics) see events vanish before they
+	// are processed.
+	held atomic.Int32
+
 	// pulseStop ends the heartbeat goroutine (see pulse.go); closed once
 	// by Kill.
 	pulseStop chan struct{}
@@ -185,31 +192,45 @@ func (ex *Executor) run() {
 		}
 		ex.pending = nil
 	}()
+	// The loop consumes the queue in batches: one lock acquisition and
+	// one wakeup drain up to a whole delivered fabric batch. The batch is
+	// bounded so backlog observers are never blind to more than one
+	// batch's worth of locally held events (held covers even those).
+	buf := make([]*tuple.Event, executorPopBatch)
 	for {
-		ev, ok := ex.in.Pop()
+		evs, ok := ex.in.PopBatch(buf)
 		if !ok {
 			return
 		}
-		ex.waitWhilePaused()
-		if ex.killed.Load() {
-			// Kill closed and drained the queue in one atomic step, but
-			// this event was already popped when the kill landed; count
-			// the straggler so reliability accounting sees every loss.
-			// Stop-time kills are exempt: Stop discards queue contents
-			// uncounted, and the straggler is the same discard.
-			if ev.IsData() && !ex.eng.stopping.Load() {
-				ex.eng.lostKill.Add(1)
+		ex.held.Store(int32(len(evs)))
+		for _, ev := range evs {
+			ex.held.Add(-1)
+			ex.waitWhilePaused()
+			if ex.killed.Load() {
+				// Kill closed and drained the queue in one atomic step,
+				// but this event was already popped when the kill landed;
+				// count the straggler so reliability accounting sees every
+				// loss. Stop-time kills are exempt: Stop discards queue
+				// contents uncounted, and the straggler is the same
+				// discard.
+				if ev.IsData() && !ex.eng.stopping.Load() {
+					ex.eng.lostKill.Add(1)
+				}
+				ev.Release()
+				continue
 			}
-			ev.Release()
-			continue
+			if ev.Kind.IsCheckpoint() {
+				ex.handleCheckpoint(ev)
+				continue
+			}
+			ex.handleData(ev)
 		}
-		if ev.Kind.IsCheckpoint() {
-			ex.handleCheckpoint(ev)
-			continue
-		}
-		ex.handleData(ev)
 	}
 }
+
+// executorPopBatch bounds how many events the run loop drains from its
+// input queue per lock acquisition.
+const executorPopBatch = 64
 
 // Pause stops the executor from consuming further events (they buffer in
 // the input queue). Used on sink instances during DCR/CCR migrations.
@@ -509,8 +530,10 @@ func (ex *Executor) Kill() (droppedData int) {
 // Instance returns the executor's instance identity.
 func (ex *Executor) Instance() topology.Instance { return ex.inst }
 
-// QueueLen reports the current input queue depth (diagnostics).
-func (ex *Executor) QueueLen() int { return ex.in.Len() }
+// QueueLen reports the current input queue depth plus the events the run
+// loop has batch-popped but not yet started handling (diagnostics and
+// drain detection).
+func (ex *Executor) QueueLen() int { return ex.in.Len() + int(ex.held.Load()) }
 
 // Initialized reports whether the executor has restored (or never
 // needed) its committed state and is processing data. Safe to call from

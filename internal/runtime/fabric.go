@@ -19,6 +19,12 @@ import (
 // lost, as when Storm delivers to a killed worker).
 type deliverFn func(to topology.Instance, ev *tuple.Event) bool
 
+// deliverBatchFn hands a whole delivered batch to the destination in one
+// call (one queue lock, one consumer wakeup) and returns the events that
+// could NOT be delivered — nil on the happy path. The fabric accounts
+// for (and releases) the rejects exactly as deliverFn's false return.
+type deliverBatchFn func(to topology.Instance, evs []*tuple.Event) (rejected []*tuple.Event)
+
 // slotFn resolves an instance key's current slot (placement changes
 // during rebalance).
 type slotFn func(instanceKey string) cluster.SlotRef
@@ -36,22 +42,35 @@ type slotInstFn func(inst topology.Instance) cluster.SlotRef
 // It is a sharded delivery scheduler: a fixed pool of shard goroutines
 // (default GOMAXPROCS), each owning a min-heap of pending deliveries
 // keyed by (deliverAt, enqueue seq). Links hash to shards, so the
-// goroutine count is O(shards) regardless of topology size; the previous
-// design ran one goroutine per (sender, receiver) pair — O(instances²)
-// parked goroutines that capped the simulable topology sizes.
+// goroutine count is O(shards) regardless of topology size.
+//
+// The unit of work is a per-link micro-batch, not a single event. Send
+// stages events into a per-link vector and flushes it into the scheduler
+// when it reaches batchSize or when batchDelay elapses since the batch's
+// first event (Nagle-style), whichever comes first. A flushed batch
+// costs one heap push, one scheduler pop, and one destination hand-off
+// regardless of how many events it carries — the per-event send path is
+// just an append under the shard lock.
 //
 // The FIFO guarantee holds because (a) all deliveries of a link land on
-// one shard, (b) a link's deliverAt is clamped monotone non-decreasing
+// one shard and batches flush in staging order, (b) a link's per-event
+// deliverAt is clamped monotone non-decreasing across batch boundaries
 // (a rebalance can shorten the latency of a later send; the clamp models
-// the earlier event still occupying the wire, exactly like the old
-// per-link goroutine sleeping out its deadline first), and (c) equal
-// deadlines pop in enqueue-seq order.
+// the earlier event still occupying the wire), and (c) equal deadlines
+// pop in flush-seq order.
 type fabric struct {
-	clock      timex.Clock
-	net        cluster.NetworkModel
-	slotOf     slotFn
-	slotOfInst slotInstFn
-	deliver    deliverFn
+	clock        timex.Clock
+	net          cluster.NetworkModel
+	slotOf       slotFn
+	slotOfInst   slotInstFn
+	deliver      deliverFn
+	deliverBatch deliverBatchFn
+
+	// batchSize <= 1 disables batching: Send computes the latency at
+	// send time and flushes a single-event batch immediately — the exact
+	// pre-batching semantics. batchDelay <= 0 disables it the same way.
+	batchSize  int
+	batchDelay time.Duration
 
 	shards []*fabShard
 	seed   maphash.Seed
@@ -69,70 +88,135 @@ type fabric struct {
 	dropped atomic.Uint64
 }
 
+// fabricParams bundles the fabric's construction knobs.
+type fabricParams struct {
+	clock        timex.Clock
+	net          cluster.NetworkModel
+	slotOf       slotFn
+	slotOfInst   slotInstFn
+	deliver      deliverFn
+	deliverBatch deliverBatchFn // optional; falls back to per-event deliver
+	shards       int            // 0 means GOMAXPROCS
+	batchSize    int            // <= 1 disables batching
+	batchDelay   time.Duration  // <= 0 disables batching
+}
+
 type linkKey struct {
 	from string
 	to   topology.Instance
 }
 
-// delivery is one scheduled hand-off, ordered by (deliverAt, seq).
-// Deliveries are pooled: Send draws one, the shard goroutine returns it
-// after the hand-off, so the steady-state send path does not allocate.
-type delivery struct {
-	ev        *tuple.Event
-	to        topology.Instance
-	key       linkKey
-	deliverAt time.Time
-	seq       uint64
+// fabBatch is one scheduled per-link batch, ordered by (at, seq) where
+// at is the clamped deliverAt of its first undelivered event. Batches
+// are pooled, and their event vectors come from the tuple vector pool,
+// so the steady-state path does not allocate.
+type fabBatch struct {
+	vec *tuple.Vec
+	ats []time.Time // per-event clamped deliverAt, parallel to vec.Ev
+	to  topology.Instance
+	key linkKey
+	// start indexes the first undelivered event: when only a prefix of
+	// the batch is due, the prefix is delivered and the batch is re-keyed
+	// at ats[start] — later batches of the link carry larger seqs and
+	// deadlines >= this batch's tail, so FIFO is preserved.
+	start int
+	at    time.Time // == ats[start]; the heap key
+	seq   uint64
 }
 
-var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
+var batchPool = sync.Pool{New: func() any { return new(fabBatch) }}
 
-// shardBuffer is the per-shard in-flight capacity; senders block when a
-// shard is saturated (network backpressure, previously per-link).
+func (b *fabBatch) release() {
+	b.vec.Release()
+	*b = fabBatch{ats: b.ats[:0]}
+	batchPool.Put(b)
+}
+
+// linkStage is the per-link staging buffer batches accumulate in before
+// they are flushed into the scheduler.
+type linkStage struct {
+	key linkKey
+	to  topology.Instance
+	vec *tuple.Vec // nil when nothing is staged
+	// gen increments every time a fresh batch starts; pendingStages
+	// entries carry the gen they were armed for, so an entry whose stage
+	// was size-flushed (and possibly re-armed) is recognized as stale.
+	gen      uint64
+	deadline time.Time
+}
+
+// stageRef is a deadline-ordered reference to an armed stage. Deadlines
+// are armed as now+batchDelay with a constant delay, so the pending list
+// is naturally sorted and the consumer only ever inspects its head.
+type stageRef struct {
+	st  *linkStage
+	gen uint64
+	at  time.Time
+}
+
+// shardBuffer is the per-shard in-flight capacity (staged + scheduled);
+// senders block when a shard is saturated (network backpressure,
+// previously per-link).
 const shardBuffer = 1 << 16
 
 // fabShard is one scheduler shard: a single goroutine draining a min-heap
-// of pending deliveries in deadline order.
+// of pending batches in deadline order.
 //
-// Senders do not touch the heap: they stage deliveries on the intake
-// slice (O(1) under the lock) and wake the consumer only when it is
-// actually parked, so a burst of sends costs one wakeup and one batched
-// heap-drain instead of one signal and one O(log n) push per event.
+// Senders do not touch the heap: they stage events on their link's stage
+// (O(1) under the lock), flush full batches onto the intake slice, and
+// wake the consumer only when it is actually parked or sleeping past a
+// new deadline — a burst of sends costs one wakeup and one heap push per
+// batch instead of one signal and one O(log n) push per event.
 type fabShard struct {
 	mu       sync.Mutex
-	notEmpty *sync.Cond  // consumer waits for work
-	notFull  *sync.Cond  // senders wait out backpressure
-	intake   []*delivery // staged sends, drained wholesale by the consumer
-	h        deliveryHeap
-	seq      uint64                // monotone enqueue counter (tie-break)
-	lastAt   map[linkKey]time.Time // per-link FIFO clamp, applied at drain
-	sleepTo  time.Time             // deadline the consumer sleeps toward (zero: not sleeping)
-	waiting  bool                  // consumer is parked on notEmpty
-	wake     chan struct{}         // interrupts the consumer's sleep
-	closed   bool
+	notEmpty *sync.Cond // consumer waits for work
+	notFull  *sync.Cond // senders wait out backpressure
+
+	links   map[linkKey]*linkStage
+	pending []stageRef  // armed stage deadlines, in arming (= deadline) order
+	intake  []*fabBatch // flushed batches, drained wholesale by the consumer
+	h       batchHeap
+	queued  int // events staged + scheduled (backpressure accounting)
+
+	seq     uint64                // monotone flush counter (heap tie-break)
+	lastAt  map[linkKey]time.Time // per-link FIFO clamp, applied at drain
+	sleepTo time.Time             // deadline the consumer sleeps toward (zero: not sleeping)
+	waiting bool                  // consumer is parked on notEmpty
+	wake    chan struct{}         // interrupts the consumer's sleep
+	closed  bool
 }
 
-// newFabric builds a fabric with the given shard count (0 means
-// GOMAXPROCS) and starts the shard goroutines; Close joins them.
-func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, slotOfInst slotInstFn, deliver deliverFn, shards int) *fabric {
+// newFabric builds a fabric and starts the shard goroutines; Close joins
+// them.
+func newFabric(p fabricParams) *fabric {
+	shards := p.shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	slotOfInst := p.slotOfInst
 	if slotOfInst == nil {
-		slotOfInst = func(inst topology.Instance) cluster.SlotRef { return slotOf(inst.String()) }
+		slotOfInst = func(inst topology.Instance) cluster.SlotRef { return p.slotOf(inst.String()) }
+	}
+	batchSize := p.batchSize
+	if batchSize < 1 || p.batchDelay <= 0 {
+		batchSize = 1
 	}
 	f := &fabric{
-		clock:      clock,
-		net:        net,
-		slotOf:     slotOf,
-		slotOfInst: slotOfInst,
-		deliver:    deliver,
-		shards:     make([]*fabShard, shards),
-		seed:       maphash.MakeSeed(),
-		start:      clock.Now(),
+		clock:        p.clock,
+		net:          p.net,
+		slotOf:       p.slotOf,
+		slotOfInst:   slotOfInst,
+		deliver:      p.deliver,
+		deliverBatch: p.deliverBatch,
+		batchSize:    batchSize,
+		batchDelay:   p.batchDelay,
+		shards:       make([]*fabShard, shards),
+		seed:         maphash.MakeSeed(),
+		start:        p.clock.Now(),
 	}
 	for i := range f.shards {
 		sh := &fabShard{
+			links:  make(map[linkKey]*linkStage),
 			lastAt: make(map[linkKey]time.Time),
 			wake:   make(chan struct{}, 1),
 		}
@@ -149,50 +233,103 @@ func newFabric(clock timex.Clock, net cluster.NetworkModel, slotOf slotFn, slotO
 // go through one shard; that plus the monotone deadline clamp is what
 // makes per-link FIFO hold.
 func (f *fabric) shardOf(key linkKey) *fabShard {
-	var h maphash.Hash
-	h.SetSeed(f.seed)
-	h.WriteString(key.from)
-	h.WriteString(key.to.Task)
-	h.WriteByte(byte(key.to.Index))
-	h.WriteByte(byte(key.to.Index >> 8))
-	return f.shards[h.Sum64()%uint64(len(f.shards))]
+	h := maphash.String(f.seed, key.from)
+	h ^= maphash.String(f.seed, key.to.Task)
+	h = tuple.Mix64(h ^ uint64(key.to.Index))
+	return f.shards[h%uint64(len(f.shards))]
 }
 
 // Send schedules ev for delivery from the sender (an instance key; the
 // coordinator and sources send too) to the destination instance, after
-// the one-way latency between their current slots. Sending concurrently
-// with Close is safe: the event is dropped and counted.
+// the one-way latency between their current slots. With batching on, the
+// event is staged on its link and the latency is computed when the batch
+// flushes (size watermark or deadline) — the wire frames a batch, then
+// sends it. Sending concurrently with Close is safe: the event is
+// dropped and counted.
 func (f *fabric) Send(fromKey string, to topology.Instance, ev *tuple.Event) {
-	now := f.clock.Now()
-	lat := f.net.LatencyAt(f.slotOf(fromKey), f.slotOfInst(to), f.sendSeq.Add(1), now.Sub(f.start))
-	deliverAt := now.Add(lat)
 	key := linkKey{from: fromKey, to: to}
 	sh := f.shardOf(key)
-
-	d := deliveryPool.Get().(*delivery)
-	d.ev, d.to, d.key, d.deliverAt = ev, to, key, deliverAt
+	if f.batchSize <= 1 {
+		f.sendUnbatched(sh, key, to, ev)
+		return
+	}
 
 	sh.mu.Lock()
-	for len(sh.h)+len(sh.intake) >= shardBuffer && !sh.closed {
+	for sh.queued >= shardBuffer && !sh.closed {
 		sh.notFull.Wait()
 	}
 	if sh.closed {
 		sh.mu.Unlock()
 		f.dropped.Add(1)
-		*d = delivery{}
-		deliveryPool.Put(d)
 		ev.Release() // dropped before hand-off: this was the last owner
 		return
 	}
-	sh.seq++
-	d.seq = sh.seq
-	sh.intake = append(sh.intake, d)
-	// Wake the consumer only when needed: if it is parked on notEmpty, or
-	// sleeping toward a deadline this delivery may now precede. A busy
-	// consumer picks the staged batch up on its next loop — a burst of
-	// sends costs one wakeup, not one per event. The staged deliverAt is
-	// pre-clamp, which can only be earlier than the final deadline, so
-	// the sleep interrupt errs on the safe (spurious wake) side.
+	st := sh.links[key]
+	if st == nil {
+		st = &linkStage{key: key, to: to}
+		sh.links[key] = st
+	}
+	if st.vec == nil {
+		// First event of a fresh batch: arm the Nagle deadline and make
+		// sure the consumer will be awake by then.
+		st.vec = tuple.GetVec()
+		st.gen++
+		st.deadline = f.clock.Now().Add(f.batchDelay)
+		sh.pending = append(sh.pending, stageRef{st: st, gen: st.gen, at: st.deadline})
+		if sh.waiting {
+			sh.notEmpty.Signal()
+		} else if !sh.sleepTo.IsZero() && st.deadline.Before(sh.sleepTo) {
+			select {
+			case sh.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	st.vec.Ev = append(st.vec.Ev, ev)
+	sh.queued++
+	if len(st.vec.Ev) >= f.batchSize {
+		b := f.flushStage(sh, st)
+		// The flushed batch may be deliverable before whatever the
+		// consumer is currently sleeping toward. The staged at is
+		// pre-clamp, which can only be earlier than the final deadline,
+		// so the sleep interrupt errs on the safe (spurious wake) side.
+		if sh.waiting {
+			sh.notEmpty.Signal()
+		} else if !sh.sleepTo.IsZero() && b.ats[0].Before(sh.sleepTo) {
+			select {
+			case sh.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// sendUnbatched is the batching-off path: latency is computed at send
+// time, before the backpressure wait, exactly as the pre-batching fabric
+// did; the event travels as a batch of one.
+func (f *fabric) sendUnbatched(sh *fabShard, key linkKey, to topology.Instance, ev *tuple.Event) {
+	now := f.clock.Now()
+	lat := f.net.LatencyAt(f.slotOf(key.from), f.slotOfInst(to), f.sendSeq.Add(1), now.Sub(f.start))
+	deliverAt := now.Add(lat)
+
+	sh.mu.Lock()
+	for sh.queued >= shardBuffer && !sh.closed {
+		sh.notFull.Wait()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		f.dropped.Add(1)
+		ev.Release() // dropped before hand-off: this was the last owner
+		return
+	}
+	b := batchPool.Get().(*fabBatch)
+	b.vec = tuple.GetVec()
+	b.vec.Ev = append(b.vec.Ev, ev)
+	b.ats = append(b.ats[:0], deliverAt)
+	b.to, b.key = to, key
+	sh.intake = append(sh.intake, b)
+	sh.queued++
 	if sh.waiting {
 		sh.notEmpty.Signal()
 	} else if !sh.sleepTo.IsZero() && deliverAt.Before(sh.sleepTo) {
@@ -204,60 +341,190 @@ func (f *fabric) Send(fromKey string, to topology.Instance, ev *tuple.Event) {
 	sh.mu.Unlock()
 }
 
-// runShard drains one shard in deadline order, delaying each delivery to
-// its deadline with sub-oversleep precision (per-hop latencies are a
-// millisecond of paper time, far below the OS timer's oversleep under a
-// compressed clock). After Close it keeps draining until the heap is
-// empty, so queued deliveries still arrive — the old per-link drain
-// semantics.
+// flushStage moves a link's staged vector into the intake as a scheduled
+// batch, computing each event's deliverAt against the link's CURRENT
+// placement — one clock read, one placement resolution, and one sendSeq
+// reservation for the whole batch; the per-event network jitter stays
+// per-event (seq-keyed), so a seeded run delivers with the same jitter
+// sequence regardless of batch size. Callers hold sh.mu.
+func (f *fabric) flushStage(sh *fabShard, st *linkStage) *fabBatch {
+	vec := st.vec
+	st.vec = nil
+	st.deadline = time.Time{}
+
+	now := f.clock.Now()
+	from := f.slotOf(st.key.from)
+	toSlot := f.slotOfInst(st.to)
+	elapsed := now.Sub(f.start)
+	n := uint64(len(vec.Ev))
+	seq := f.sendSeq.Add(n) - n + 1
+
+	b := batchPool.Get().(*fabBatch)
+	b.vec = vec
+	b.to, b.key = st.to, st.key
+	b.ats = b.ats[:0]
+	for i := range vec.Ev {
+		lat := f.net.LatencyAt(from, toSlot, seq+uint64(i), elapsed)
+		b.ats = append(b.ats, now.Add(lat))
+	}
+	sh.intake = append(sh.intake, b)
+	return b
+}
+
+// flushDue flushes every armed stage whose deadline has passed (every
+// armed stage when the shard is closed, so staged events still arrive
+// after Close — the drain semantics senders rely on). Callers hold
+// sh.mu. Stale refs — stages already flushed by the size watermark —
+// are recognized by their generation and skipped.
+func (f *fabric) flushDue(sh *fabShard, now time.Time) {
+	for len(sh.pending) > 0 {
+		r := sh.pending[0]
+		if r.st.vec == nil || r.st.gen != r.gen {
+			sh.pending[0] = stageRef{}
+			sh.pending = sh.pending[1:]
+			continue
+		}
+		if !sh.closed && r.at.After(now) {
+			return // deadlines are monotone: nothing further is due
+		}
+		sh.pending[0] = stageRef{}
+		sh.pending = sh.pending[1:]
+		f.flushStage(sh, r.st)
+	}
+}
+
+// drainIntake moves flushed batches into the heap, applying the per-link
+// FIFO clamp per event in flush order (the intake preserves staging
+// order, so the clamp result is identical to clamping each event at its
+// own enqueue). Callers hold sh.mu.
+func (f *fabric) drainIntake(sh *fabShard) {
+	for i, b := range sh.intake {
+		last := sh.lastAt[b.key]
+		for j := range b.ats {
+			if b.ats[j].Before(last) {
+				b.ats[j] = last
+			}
+			last = b.ats[j]
+		}
+		sh.lastAt[b.key] = last
+		sh.seq++
+		b.seq = sh.seq
+		b.start = 0
+		b.at = b.ats[0]
+		heap.Push(&sh.h, b)
+		sh.intake[i] = nil
+	}
+	sh.intake = sh.intake[:0]
+}
+
+// nextDeadline reports the earliest instant the consumer must act on:
+// the heap head's deliverAt or the earliest armed stage deadline.
+// Callers hold sh.mu.
+func (sh *fabShard) nextDeadline() (time.Time, bool) {
+	var at time.Time
+	ok := false
+	if len(sh.h) > 0 {
+		at, ok = sh.h[0].at, true
+	}
+	for len(sh.pending) > 0 {
+		r := sh.pending[0]
+		if r.st.vec == nil || r.st.gen != r.gen {
+			sh.pending[0] = stageRef{}
+			sh.pending = sh.pending[1:]
+			continue
+		}
+		if !ok || r.at.Before(at) {
+			at = r.at
+		}
+		ok = true
+		break
+	}
+	return at, ok
+}
+
+// runShard drains one shard in deadline order, delaying each batch to
+// its head deadline with sub-oversleep precision (per-hop latencies are
+// a millisecond of paper time, far below the OS timer's oversleep under
+// a compressed clock). Only the due prefix of a batch is delivered; the
+// remainder is re-keyed at its next deadline, so per-event delivery
+// instants are exactly what the unbatched fabric would have produced for
+// the same (deliverAt, clamp) sequence. After Close it keeps draining —
+// including staged, unflushed batches — until everything is delivered.
 func (f *fabric) runShard(sh *fabShard) {
 	defer f.wg.Done()
 	for {
 		sh.mu.Lock()
-		for len(sh.intake) == 0 && len(sh.h) == 0 && !sh.closed {
-			sh.waiting = true
-			sh.notEmpty.Wait()
-			sh.waiting = false
-		}
-		// Drain the staged batch into the heap, applying the per-link
-		// FIFO clamp in enqueue order (the intake preserves send order,
-		// so the clamp result is identical to clamping inside Send).
-		if len(sh.intake) > 0 {
-			for i, d := range sh.intake {
-				if last := sh.lastAt[d.key]; d.deliverAt.Before(last) {
-					d.deliverAt = last
-				}
-				sh.lastAt[d.key] = d.deliverAt
-				heap.Push(&sh.h, d)
-				sh.intake[i] = nil
+		var b *fabBatch
+		var now time.Time
+		for {
+			now = f.clock.Now()
+			f.flushDue(sh, now)
+			f.drainIntake(sh)
+			if len(sh.h) > 0 && !sh.h[0].at.After(now) {
+				b = sh.h[0]
+				break
 			}
-			sh.intake = sh.intake[:0]
-		}
-		if len(sh.h) == 0 {
-			sh.mu.Unlock()
-			return // closed and drained
-		}
-		d := sh.h[0]
-		if d.deliverAt.After(f.clock.Now()) {
+			if sh.closed && len(sh.h) == 0 && len(sh.intake) == 0 {
+				sh.mu.Unlock()
+				return // closed and drained (flushDue flushed every stage)
+			}
+			next, ok := sh.nextDeadline()
+			if !ok {
+				sh.waiting = true
+				sh.notEmpty.Wait()
+				sh.waiting = false
+				continue
+			}
 			// Sleep toward the earliest deadline, interruptible by a
-			// newly enqueued earlier one.
-			sh.sleepTo = d.deliverAt
+			// newly staged or flushed earlier one.
+			sh.sleepTo = next
 			sh.mu.Unlock()
-			timex.WaitUntil(f.clock, d.deliverAt, sh.wake)
+			timex.WaitUntil(f.clock, next, sh.wake)
 			sh.mu.Lock()
 			sh.sleepTo = time.Time{}
-			sh.mu.Unlock()
-			continue // re-evaluate the heap minimum
 		}
-		heap.Pop(&sh.h)
-		sh.notFull.Signal()
+		// Deliver the due prefix of the head batch.
+		evs := b.vec.Ev
+		k := b.start
+		for k < len(evs) && !b.ats[k].After(now) {
+			k++
+		}
+		due := evs[b.start:k]
+		done := k == len(evs)
+		if done {
+			heap.Pop(&sh.h)
+		} else {
+			b.start = k
+			b.at = b.ats[k]
+			heap.Fix(&sh.h, 0)
+		}
+		sh.queued -= len(due)
+		sh.notFull.Broadcast()
 		sh.mu.Unlock()
-		if !f.deliver(d.to, d.ev) {
-			f.dropped.Add(1)
-			d.ev.Release() // lost at delivery: nobody downstream owns it
+		f.handOff(b.to, due)
+		if done {
+			b.release()
 		}
-		*d = delivery{}
-		deliveryPool.Put(d)
+	}
+}
+
+// handOff delivers a due batch to its destination, preferring the batch
+// hand-off (one queue append, one wakeup) and falling back to per-event
+// delivery. Rejected events are counted dropped and released — the
+// fabric was their last owner.
+func (f *fabric) handOff(to topology.Instance, evs []*tuple.Event) {
+	if f.deliverBatch != nil {
+		for _, ev := range f.deliverBatch(to, evs) {
+			f.dropped.Add(1)
+			ev.Release() // lost at delivery: nobody downstream owns it
+		}
+		return
+	}
+	for _, ev := range evs {
+		if !f.deliver(to, ev) {
+			f.dropped.Add(1)
+			ev.Release() // lost at delivery: nobody downstream owns it
+		}
 	}
 }
 
@@ -267,9 +534,10 @@ func (f *fabric) Dropped() uint64 { return f.dropped.Load() }
 // ShardCount reports the number of scheduler shards (and goroutines).
 func (f *fabric) ShardCount() int { return len(f.shards) }
 
-// Close stops the fabric after all queued deliveries drain. Concurrent
-// Sends are safe: once a shard is marked closed, its senders drop (and
-// count) instead of enqueueing — there is no channel to race against.
+// Close stops the fabric after all queued deliveries — staged batches
+// included — drain. Concurrent Sends are safe: once a shard is marked
+// closed, its senders drop (and count) instead of enqueueing — there is
+// no channel to race against.
 func (f *fabric) Close() {
 	for _, sh := range f.shards {
 		sh.mu.Lock()
@@ -281,24 +549,25 @@ func (f *fabric) Close() {
 	f.wg.Wait()
 }
 
-// deliveryHeap is a min-heap of pending deliveries ordered by
-// (deliverAt, seq); the seq tie-break keeps equal deadlines FIFO.
-type deliveryHeap []*delivery
+// batchHeap is a min-heap of pending batches ordered by (at, seq); the
+// seq tie-break keeps equal deadlines in flush order, which within a
+// link is FIFO order.
+type batchHeap []*fabBatch
 
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
-	if h[i].deliverAt.Equal(h[j].deliverAt) {
+func (h batchHeap) Len() int { return len(h) }
+func (h batchHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
 		return h[i].seq < h[j].seq
 	}
-	return h[i].deliverAt.Before(h[j].deliverAt)
+	return h[i].at.Before(h[j].at)
 }
-func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(*delivery)) }
-func (h *deliveryHeap) Pop() any {
+func (h batchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *batchHeap) Push(x any)   { *h = append(*h, x.(*fabBatch)) }
+func (h *batchHeap) Pop() any {
 	old := *h
 	n := len(old)
-	d := old[n-1]
+	b := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	return d
+	return b
 }

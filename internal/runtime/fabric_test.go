@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -47,7 +48,14 @@ func (c *collectingDeliver) events(to topology.Instance) []*tuple.Event {
 	return out
 }
 
+// testFabric builds a fabric with small batches (size 4, 1 ms Nagle
+// deadline) so the general-purpose tests exercise the batched staging,
+// flush, and drain paths; testFabricBatch pins explicit settings.
 func testFabric(col *collectingDeliver) (*fabric, *timex.ScaledClock) {
+	return testFabricBatch(col, 4, time.Millisecond)
+}
+
+func testFabricBatch(col *collectingDeliver, batchSize int, batchDelay time.Duration) (*fabric, *timex.ScaledClock) {
 	clock := timex.NewScaled(1)
 	slots := func(key string) cluster.SlotRef {
 		// Everyone on one VM except "far" senders.
@@ -61,7 +69,11 @@ func testFabric(col *collectingDeliver) (*fabric, *timex.ScaledClock) {
 		IntraVM:  time.Millisecond,
 		InterVM:  5 * time.Millisecond,
 	}
-	return newFabric(clock, net, slots, nil, col.deliver, 0), clock
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots, deliver: col.deliver,
+		batchSize: batchSize, batchDelay: batchDelay,
+	})
+	return f, clock
 }
 
 func TestFabricDeliversInFIFOOrder(t *testing.T) {
@@ -186,7 +198,10 @@ func TestFabricFIFOStress(t *testing.T) {
 		return cluster.SlotRef{VM: "vm-0", Slot: 0}
 	}
 	net := cluster.NetworkModel{SameSlot: 0, IntraVM: time.Millisecond, InterVM: 5 * time.Millisecond}
-	f := newFabric(clock, net, slots, nil, col.deliver, 4)
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots, deliver: col.deliver, shards: 4,
+		batchSize: 4, batchDelay: time.Millisecond,
+	})
 	defer f.Close()
 
 	const senders = 8
@@ -249,7 +264,10 @@ func TestFabricFIFOStressUnderJitter(t *testing.T) {
 		SameSlot: 0, IntraVM: time.Millisecond, InterVM: 5 * time.Millisecond,
 		Jitter: 4 * time.Millisecond, JitterSeed: 42,
 	}
-	f := newFabric(clock, net, slots, nil, col.deliver, 4)
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots, deliver: col.deliver, shards: 4,
+		batchSize: 4, batchDelay: time.Millisecond,
+	})
 	defer f.Close()
 
 	const senders = 8
@@ -307,7 +325,12 @@ func TestFabricPartitionStallsDelivery(t *testing.T) {
 		SameSlot: 0, IntraVM: time.Millisecond, InterVM: 2 * time.Millisecond,
 		Partitions: []cluster.Partition{{From: 0, Until: 60 * time.Millisecond}},
 	}
-	f := newFabric(clock, net, slots, nil, col.deliver, 2)
+	// Full-size batches: the lone event rides the Nagle deadline flush,
+	// and its partition stall is computed at flush time.
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots, deliver: col.deliver, shards: 2,
+		batchSize: 64, batchDelay: time.Millisecond,
+	})
 	defer f.Close()
 	to := topology.Instance{Task: "T", Index: 0}
 	start := clock.Now()
@@ -382,7 +405,10 @@ func TestFabricGoroutineCountIsOShards(t *testing.T) {
 	net := cluster.NetworkModel{SameSlot: 0, IntraVM: 0, InterVM: 0}
 	before := runtime.NumGoroutine()
 	const shards = 8
-	f := newFabric(clock, net, slots, nil, col.deliver, shards)
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots, deliver: col.deliver, shards: shards,
+		batchSize: 64, batchDelay: time.Millisecond,
+	})
 	const links = 4096 // 64 senders x 64 destinations
 	for s := 0; s < 64; s++ {
 		from := fmt.Sprintf("s%d[0]", s)
@@ -401,16 +427,32 @@ func TestFabricGoroutineCountIsOShards(t *testing.T) {
 }
 
 // BenchmarkFabricThroughput measures delivery throughput across many
-// concurrent links with zero modeled latency (pure scheduler overhead).
+// concurrent links with zero modeled latency (pure scheduler overhead)
+// at the default batch settings (size 64, 1 ms Nagle deadline).
 func BenchmarkFabricThroughput(b *testing.B) {
+	benchFabricThroughput(b, 64, time.Millisecond)
+}
+
+// BenchmarkFabricThroughputUnbatched is the same run with batching off
+// (BatchMaxSize=1); the gap against BenchmarkFabricThroughput is the
+// amortization win.
+func BenchmarkFabricThroughputUnbatched(b *testing.B) {
+	benchFabricThroughput(b, 1, 0)
+}
+
+func benchFabricThroughput(b *testing.B, batchSize int, batchDelay time.Duration) {
 	var delivered atomic.Uint64
 	clock := timex.NewScaled(1)
 	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
 	net := cluster.NetworkModel{}
-	f := newFabric(clock, net, slots, nil, func(to topology.Instance, ev *tuple.Event) bool {
-		delivered.Add(1)
-		return true
-	}, 0)
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots,
+		deliver: func(to topology.Instance, ev *tuple.Event) bool {
+			delivered.Add(1)
+			return true
+		},
+		batchSize: batchSize, batchDelay: batchDelay,
+	})
 	defer f.Close()
 	ev := &tuple.Event{ID: 1, Kind: tuple.Data}
 	froms := benchSenderKeys(16)
@@ -443,10 +485,14 @@ func BenchmarkFabricThroughputLatency(b *testing.B) {
 	clock := timex.NewScaled(1)
 	slots := func(key string) cluster.SlotRef { return cluster.SlotRef{VM: "vm-0", Slot: 0} }
 	net := cluster.NetworkModel{SameSlot: 0, IntraVM: 100 * time.Microsecond, InterVM: 300 * time.Microsecond}
-	f := newFabric(clock, net, slots, nil, func(to topology.Instance, ev *tuple.Event) bool {
-		delivered.Add(1)
-		return true
-	}, 0)
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots,
+		deliver: func(to topology.Instance, ev *tuple.Event) bool {
+			delivered.Add(1)
+			return true
+		},
+		batchSize: 64, batchDelay: time.Millisecond,
+	})
 	defer f.Close()
 	ev := &tuple.Event{ID: 1, Kind: tuple.Data}
 	froms := benchSenderKeys(16)
@@ -460,4 +506,122 @@ func BenchmarkFabricThroughputLatency(b *testing.B) {
 		}
 	})
 	b.StopTimer()
+}
+
+// fabricScriptResult is one run of the deterministic send script:
+// per-link delivery sequences plus total and dropped counts.
+type fabricScriptResult struct {
+	perLink   map[string][]tuple.ID
+	delivered int
+	dropped   uint64
+}
+
+// runFabricScript replays a fixed multi-sender send script through a
+// fabric with the given batch settings: 6 senders (two of them on a far
+// VM) × 5 destinations × each events per link, under deterministic
+// seeded jitter. Senders run concurrently; per-link send order is fixed
+// by construction, so two runs are comparable link by link.
+func runFabricScript(t *testing.T, batchSize int, batchDelay time.Duration, jitterSeed uint64, each int) fabricScriptResult {
+	t.Helper()
+	col := newCollectingDeliver()
+	clock := timex.NewScaled(1)
+	slots := func(key string) cluster.SlotRef {
+		if strings.HasPrefix(key, "far") {
+			return cluster.SlotRef{VM: "vm-9", Slot: 0}
+		}
+		return cluster.SlotRef{VM: "vm-0", Slot: 0}
+	}
+	net := cluster.NetworkModel{
+		SameSlot: 0, IntraVM: time.Millisecond, InterVM: 5 * time.Millisecond,
+		Jitter: 3 * time.Millisecond, JitterSeed: jitterSeed,
+	}
+	f := newFabric(fabricParams{
+		clock: clock, net: net, slotOf: slots, deliver: col.deliver, shards: 4,
+		batchSize: batchSize, batchDelay: batchDelay,
+	})
+	const senders = 6
+	const dests = 5
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			from := fmt.Sprintf("near%d[0]", s)
+			if s >= 4 {
+				from = fmt.Sprintf("far%d[0]", s)
+			}
+			for i := 1; i <= each; i++ {
+				for d := 0; d < dests; d++ {
+					to := topology.Instance{Task: "T", Index: d}
+					f.Send(from, to, &tuple.Event{ID: tuple.ID(s*1_000_000 + i), Kind: tuple.Data})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	f.Close() // drains everything, staged batches included
+	res := fabricScriptResult{perLink: make(map[string][]tuple.ID), dropped: f.Dropped()}
+	for d := 0; d < dests; d++ {
+		to := topology.Instance{Task: "T", Index: d}
+		for _, ev := range col.events(to) {
+			s := int(ev.ID) / 1_000_000
+			link := fmt.Sprintf("s%d->d%d", s, d)
+			res.perLink[link] = append(res.perLink[link], ev.ID)
+			res.delivered++
+		}
+	}
+	return res
+}
+
+// TestFabricBatchingEquivalence is the batching correctness property:
+// for a fixed send script on a fixed seed, a batched fabric must deliver
+// byte-identical per-link sequences and identical totals to the
+// unbatched (BatchMaxSize=1) fabric — across batch sizes, Nagle
+// deadlines, and jitter seeds. Batching may only change WHEN a delivery
+// happens (by at most the flush deadline), never WHAT arrives or in
+// which per-link order.
+func TestFabricBatchingEquivalence(t *testing.T) {
+	const each = 40
+	for _, seed := range []uint64{1, 42} {
+		base := runFabricScript(t, 1, 0, seed, each)
+		if base.dropped != 0 {
+			t.Fatalf("seed %d: unbatched run dropped %d", seed, base.dropped)
+		}
+		for _, cfg := range []struct {
+			size  int
+			delay time.Duration
+		}{
+			{2, time.Millisecond},
+			{7, 500 * time.Microsecond},
+			{64, time.Millisecond},
+			{64, 5 * time.Millisecond},
+		} {
+			got := runFabricScript(t, cfg.size, cfg.delay, seed, each)
+			if got.dropped != 0 {
+				t.Errorf("seed %d batch %d/%v: dropped %d", seed, cfg.size, cfg.delay, got.dropped)
+			}
+			if got.delivered != base.delivered {
+				t.Errorf("seed %d batch %d/%v: delivered %d, want %d",
+					seed, cfg.size, cfg.delay, got.delivered, base.delivered)
+			}
+			if len(got.perLink) != len(base.perLink) {
+				t.Errorf("seed %d batch %d/%v: %d links, want %d",
+					seed, cfg.size, cfg.delay, len(got.perLink), len(base.perLink))
+			}
+			for link, want := range base.perLink {
+				have := got.perLink[link]
+				if len(have) != len(want) {
+					t.Fatalf("seed %d batch %d/%v: link %s delivered %d, want %d",
+						seed, cfg.size, cfg.delay, link, len(have), len(want))
+				}
+				for i := range want {
+					if have[i] != want[i] {
+						t.Fatalf("seed %d batch %d/%v: link %s delivery %d is ID %d, want %d",
+							seed, cfg.size, cfg.delay, link, i, have[i], want[i])
+					}
+				}
+			}
+		}
+	}
 }

@@ -10,25 +10,51 @@ import (
 // encBufs recycles the scratch buffers gob encoding streams into. Every
 // checkpoint capture encodes two blobs (user state, then the enclosing
 // checkpointBlob); with a fresh bytes.Buffer each time, the repeated
-// internal grows dominated the encode allocations. The encoder itself
-// cannot be pooled: a gob stream emits type descriptors once per stream,
-// so reusing an encoder across independent blobs would produce data an
-// independent decoder cannot read.
-var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+// internal grows dominated the encode allocations. Fresh buffers start
+// at encBufCap so even a cold buffer encodes a typical task checkpoint
+// without growing; buffers that ballooned past encBufMax after an
+// outsized state are dropped instead of pooled, so one giant blob does
+// not pin its backing array forever.
+//
+// The encoder itself cannot be pooled: a gob stream emits each type
+// descriptor once per stream, so an encoder reused across independent
+// blobs would omit the descriptors from every blob but its first —
+// bytes an independent gob.Decoder cannot read (and Decode decodes each
+// blob independently). The residual allocations in BenchmarkEncodeState
+// are gob's own reflection-driven map walk (~2 per map entry), the
+// price of the stdlib codec; they are per-entry, not per-buffer.
+var encBufs = sync.Pool{
+	New: func() any { return bytes.NewBuffer(make([]byte, 0, encBufCap)) },
+}
+
+const (
+	encBufCap = 4 << 10 // fresh pooled buffers hold a typical checkpoint blob
+	encBufMax = 1 << 20 // never pool a buffer that grew past this
+)
 
 // Encode serializes v with encoding/gob for storage. The returned slice
-// is freshly allocated at its exact size and owned by the caller.
+// is freshly allocated at its exact size and owned by the caller. Each
+// call opens a fresh gob stream — see encBufs for why the encoder,
+// unlike the scratch buffer, can never be reused across blobs.
 func Encode(v any) ([]byte, error) {
 	buf := encBufs.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
-		encBufs.Put(buf)
+		putEncBuf(buf)
 		return nil, fmt.Errorf("statestore: encode: %w", err)
 	}
 	out := make([]byte, buf.Len())
 	copy(out, buf.Bytes())
-	encBufs.Put(buf)
+	putEncBuf(buf)
 	return out, nil
+}
+
+// putEncBuf returns a scratch buffer to the pool unless it has grown
+// beyond the pooling bound.
+func putEncBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= encBufMax {
+		encBufs.Put(buf)
+	}
 }
 
 // Decode deserializes data produced by Encode into v (a pointer).

@@ -144,3 +144,42 @@ func TestChildChainProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVecPoolReuseClearsReferences(t *testing.T) {
+	v := GetVec()
+	if len(v.Ev) != 0 {
+		t.Fatalf("fresh Vec has %d events", len(v.Ev))
+	}
+	ev := NewPooledEvent()
+	ev.ID = 7
+	v.Ev = append(v.Ev, ev, nil, ev)
+	backing := v.Ev[:3]
+	v.Release()
+	// The released vector must have dropped its event references: the
+	// backing array slots are zeroed, so pooled events it held are not
+	// pinned by the vector pool.
+	for i, e := range backing {
+		if e != nil {
+			t.Fatalf("released Vec still references event at %d", i)
+		}
+	}
+	ev.Release()
+	// A vector from the pool is always empty, whatever its history.
+	v2 := GetVec()
+	if len(v2.Ev) != 0 {
+		t.Fatalf("pooled Vec came back with %d events", len(v2.Ev))
+	}
+	v2.Release()
+}
+
+func TestVecGrowthRetained(t *testing.T) {
+	v := GetVec()
+	for i := 0; i < 500; i++ {
+		v.Ev = append(v.Ev, &Event{ID: ID(i)})
+	}
+	grown := cap(v.Ev)
+	v.Release()
+	if grown < 500 {
+		t.Fatalf("cap %d after 500 appends", grown)
+	}
+}

@@ -84,6 +84,7 @@ var (
 	WithFactory         = job.WithFactory
 	WithSeed            = job.WithSeed
 	WithFabricShards    = job.WithFabricShards
+	WithBatching        = job.WithBatching
 	WithSourceRate      = job.WithSourceRate
 	WithConfigOverrides = job.WithConfigOverrides
 	WithScheduler       = job.WithScheduler
